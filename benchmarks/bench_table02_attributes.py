@@ -1,0 +1,22 @@
+"""Table 2 — attribute growth: original → augmented → binomial.
+
+Measures the number of data-mining attributes per application at the
+three stages of §2.2: parsed entries, after environment integration, and
+after nominal→binomial discretization.
+"""
+
+from conftest import archive, run_once
+
+from repro.evaluation.attribute_growth import render_table2, table2_rows
+
+
+def test_table2_attribute_growth(benchmark, results_dir):
+    rows = run_once(
+        benchmark, lambda: table2_rows(images_per_app=40, seed=5)
+    )
+    archive(results_dir, "table02_attributes", render_table2(rows))
+    for row in rows:
+        # The paper's monotone growth: environment integration adds
+        # attributes on top of the originals.
+        assert row["augmented"] > row["original"], row["app"]
+        assert row["binomial"] > 0

@@ -1,0 +1,46 @@
+"""Table 3 — off-the-shelf mining blows up with attribute count.
+
+Runs our from-scratch FP-Growth (and Apriori on the smallest point) over
+the discretized configuration table at growing attribute budgets and
+reports time plus frequent-itemset count, with budget-exceeded reported
+as OOM — the §2.2 negative finding that motivates EnCore's design.
+"""
+
+import pytest
+from conftest import archive, run_once
+
+from repro.evaluation.mining_scalability import render_table3, table3_rows
+
+
+@pytest.mark.parametrize("app", ["apache", "mysql", "php"])
+def test_table3_fpgrowth_scalability(benchmark, results_dir, app):
+    results = run_once(
+        benchmark,
+        lambda: table3_rows(
+            app=app,
+            attribute_counts=(25, 50, 75, 100, 150),
+            images=30,
+            min_support=0.7,
+            max_itemsets=500_000,
+        ),
+    )
+    archive(results_dir, f"table03_mining_{app}", render_table3(results))
+    # Shape: small budgets finish fast; the cliff ends in OOM.
+    assert not results[0].oom
+    assert results[-1].oom or results[-1].itemsets > 100 * max(1, results[0].itemsets)
+    counts = [r.itemsets for r in results]
+    assert counts[0] < counts[-1]
+
+
+def test_table3_apriori_small_point(benchmark, results_dir):
+    """Apriori "does not scale to large data sets" — even the small
+    budget takes visibly longer than FP-Growth."""
+    results = run_once(
+        benchmark,
+        lambda: table3_rows(
+            app="php", attribute_counts=(25, 50), images=20,
+            min_support=0.7, max_itemsets=200_000, miner="apriori",
+        ),
+    )
+    archive(results_dir, "table03_apriori", render_table3(results))
+    assert results[0].itemsets > 0

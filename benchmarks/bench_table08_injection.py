@@ -1,0 +1,46 @@
+"""Table 8 — injected misconfiguration detection.
+
+For each application: train Baseline / Baseline+Env / EnCore on a
+paper-scale corpus, inject 15 ConfErr-style errors into a held-out
+image, and count the detected errors per detector.  The headline claim
+("EnCore detects 1.6x to 3.5x more misconfiguration anomalies than
+previous approaches") reads off the Baseline vs EnCore columns.
+"""
+
+import pytest
+from conftest import TRAINING_IMAGES, archive, run_once
+
+from repro.evaluation.injection import (
+    render_table8,
+    run_injection_experiment,
+)
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("app", ["apache", "mysql", "php"])
+def test_table8_injection(benchmark, results_dir, app):
+    result = run_once(
+        benchmark,
+        lambda: run_injection_experiment(
+            app, training_images=TRAINING_IMAGES[app], error_count=15, seed=17
+        ),
+    )
+    _RESULTS[app] = result
+    archive(results_dir, f"table08_injection_{app}", render_table8([result]))
+    # Shape assertions: the paper's ordering Baseline <= B+Env <= EnCore
+    # (small tolerance: single-image experiments are noisy) and EnCore
+    # detecting the clear majority.
+    assert result.total == 15
+    assert result.baseline <= result.baseline_env + 2
+    assert result.baseline_env <= result.encore + 1
+    assert result.encore >= 12
+
+
+def test_table8_summary(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) == 3:
+        archive(
+            results_dir, "table08_injection",
+            render_table8([_RESULTS[a] for a in ("apache", "mysql", "php")]),
+        )

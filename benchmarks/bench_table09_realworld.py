@@ -1,0 +1,32 @@
+"""Table 9 — detection of real-world misconfigurations.
+
+Reproduces the ten ServerFault-derived cases: each is applied to a
+held-out image and checked against a model trained on a paper-scale
+corpus.  The assertion mirrors the paper's pattern: nine cases detected
+at a useful rank, case #8 missed for lack of hardware information.
+"""
+
+from conftest import archive, run_once
+
+from repro.evaluation.realworld import render_table9, run_real_world_experiment
+
+
+def test_table9_real_world_cases(benchmark, results_dir):
+    results = run_once(
+        benchmark, lambda: run_real_world_experiment(training_images=120, seed=3)
+    )
+    archive(results_dir, "table09_realworld", render_table9(results))
+    assert len(results) == 10
+    for result in results:
+        case = result.case
+        if case.expected_detected:
+            assert result.detected, f"case {case.case_id} should be detected"
+            assert result.rank <= 8, (
+                f"case {case.case_id} ranked too low: {result.rank}"
+            )
+        else:
+            assert not result.detected, f"case {case.case_id} should be missed"
+    # Env/Corr information is what does the work: every detected case
+    # needing it is found (8 of the paper's 10 rows need env and/or corr).
+    detected = sum(1 for r in results if r.detected)
+    assert detected == 9

@@ -1,0 +1,50 @@
+"""Table 10 — new misconfigurations detected in the wild.
+
+Trains on clean EC2-like images and audits two wild populations carrying
+planted latent issues with the paper's category mix: 120 fresh EC2
+images (37 issues) and 300 private-cloud images (24 issues).  Scores how
+many planted issues the trained model rediscovers per category.
+"""
+
+import pytest
+from conftest import archive, run_once
+
+from repro.evaluation.wild import render_table10, run_wild_experiment
+
+_RESULTS = {}
+
+
+def test_table10_ec2(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: run_wild_experiment("ec2", training_images=120, wild_images=120),
+    )
+    _RESULTS["ec2"] = result
+    archive(results_dir, "table10_ec2", render_table10([result]))
+    assert result.total_planted == 37
+    assert result.total_detected >= 30
+
+
+def test_table10_private_cloud(benchmark, results_dir):
+    result = run_once(
+        benchmark,
+        lambda: run_wild_experiment(
+            "private_cloud", training_images=120, wild_images=300
+        ),
+    )
+    _RESULTS["private_cloud"] = result
+    archive(results_dir, "table10_private_cloud", render_table10([result]))
+    assert result.total_planted == 24
+    assert result.total_detected >= 18
+
+
+def test_table10_summary(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) == 2:
+        archive(
+            results_dir, "table10_wild",
+            render_table10([_RESULTS["ec2"], _RESULTS["private_cloud"]]),
+        )
+        # The paper notes the private cloud has a *lower* problem rate
+        # than EC2 templates; the planted mixes encode that (24 < 37).
+        assert _RESULTS["private_cloud"].total_planted < _RESULTS["ec2"].total_planted

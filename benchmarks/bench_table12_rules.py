@@ -1,0 +1,73 @@
+"""Table 12 — correlation rules inferred with the filters.
+
+Runs template-guided rule inference at the paper's thresholds
+(confidence 90%, support 10%, Ht = 0.325) per application and scores
+false positives against the corpus generator's coupling ground truth.
+"""
+
+import pytest
+from conftest import TRAINING_IMAGES, archive, run_once
+
+from repro.evaluation.rules_experiment import (
+    render_table12,
+    run_rules_experiment,
+)
+
+_RESULTS = []
+
+
+@pytest.mark.parametrize("app", ["apache", "mysql", "php"])
+def test_table12_rule_inference(benchmark, results_dir, app):
+    result = run_once(
+        benchmark,
+        lambda: run_rules_experiment(
+            app, training_images=TRAINING_IMAGES[app], seed=11
+        ),
+    )
+    _RESULTS.append(result)
+    archive(results_dir, f"table12_rules_{app}", render_table12([result]))
+    # Shape: tens of concrete rules from 11 templates, with a real (but
+    # minority-to-moderate) false-positive tail, as in the paper.
+    assert result.rules >= 3
+    assert result.false_positives < result.rules
+    assert result.true_rules >= 3
+
+
+def test_table12_summary(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_RESULTS) == 3:
+        archive(results_dir, "table12_rules", render_table12(_RESULTS))
+        total_rules = sum(r.rules for r in _RESULTS)
+        # The paper reports 79 concrete rules from the 11 predefined
+        # templates over 3 applications (§3); ours lands in the same
+        # order of magnitude.
+        assert 30 <= total_rules <= 400
+
+
+def test_table12_type_restriction_ablation(benchmark, results_dir):
+    """§5.1: type-restricted slots shrink the instantiation space."""
+    from repro.core.assembler import DataAssembler
+    from repro.core.inference import RuleInferencer
+    from repro.corpus.generator import Ec2CorpusGenerator
+
+    dataset = DataAssembler().assemble_corpus(
+        Ec2CorpusGenerator(seed=11, apps=("mysql",)).generate(40)
+    )
+
+    def measure():
+        restricted = RuleInferencer(restrict_types=True)
+        unrestricted = RuleInferencer(restrict_types=False)
+        return (
+            restricted.candidate_pair_count(dataset),
+            unrestricted.candidate_pair_count(dataset),
+        )
+
+    restricted, unrestricted = run_once(benchmark, measure)
+    text = (
+        f"candidate (template, A, B) instantiations:\n"
+        f"  type-restricted : {restricted}\n"
+        f"  unrestricted    : {unrestricted}\n"
+        f"  reduction       : {unrestricted / max(1, restricted):.1f}x"
+    )
+    archive(results_dir, "table12_ablation_type_restriction", text)
+    assert unrestricted > 2 * restricted

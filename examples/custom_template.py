@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Customizing EnCore with the Figure 6 customization file.
+
+EnCore is "a fully customizable framework" (§5.3): users can declare new
+types, augmented attributes, operators and rule templates through a
+single ``$$``-sectioned file.  This example defines:
+
+* a custom type ``SessionPath`` (paths under /var/lib/php);
+* a custom augmented attribute counting a path's depth;
+* a custom comparison operator and a template using it.
+
+It then trains with the customization applied and shows the extra rules.
+
+Run:  python examples/custom_template.py
+"""
+
+from repro import EnCore, EnCoreConfig
+from repro.corpus import Ec2CorpusGenerator
+
+CUSTOMIZATION = """
+$$TypeDeclaration
+SessionPath
+$$TypeInference
+SessionPath (value): { return value.startswith('/var/lib/php') }
+$$TypeValidation
+SessionPath (value): { return value in FS.FileList }
+$$TypeAugmentDeclaration
+SessionPath.Depth <Number>
+$$TypeAugment
+SessionPath.Depth (value): { return len(value.split('/')) - 1 }
+$$TypeOperator
+Number : Operator '=='
+numeq (v1, v2): { return v1 == v2 }
+$$Template
+[A] == [B] <Number, Number> -- 90%
+"""
+
+
+def main() -> None:
+    images = Ec2CorpusGenerator(seed=13).generate(60)
+
+    print("Training a customized EnCore instance...")
+    encore = EnCore(EnCoreConfig(customization_text=CUSTOMIZATION))
+    custom_templates = [t for t in encore.templates if t.name.startswith("custom_")]
+    print(f"  custom templates registered: {[t.name for t in custom_templates]}")
+
+    model = encore.train(images)
+    print(f"  total rules learned: {model.rule_count}")
+
+    custom_rules = [
+        rule for rule in model.rules if rule.template_name.startswith("custom_")
+    ]
+    print(f"\nRules produced by the custom '==' template: {len(custom_rules)}")
+    for rule in custom_rules[:6]:
+        print(f"  {rule}")
+
+    print(
+        "\nCustom types take priority over predefined ones (§5.3.1), and "
+        "custom templates participate in inference exactly like the 11 "
+        "predefined Table 6 templates."
+    )
+
+
+if __name__ == "__main__":
+    main()

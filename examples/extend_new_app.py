@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Extending EnCore to a brand-new application (framework claim of §3/§5.3).
+
+EnCore is "a generic configuration data analysis framework that can be
+readily used" beyond the studied applications: Augeas-style parsers are
+pluggable, and the type system / templates apply unchanged.  This example
+onboards a Redis-like key-value store nobody in the catalog knows about:
+
+1. register a parser for its config format (the generic key-value lens
+   with a custom app name is enough here);
+2. generate a small corpus of coherent Redis images inline;
+3. train — the predefined types and templates immediately produce rules
+   (``dir`` owned by the redis user, ``maxmemory`` sizing, ports);
+4. detect a wrong-ownership defect in a held-out instance.
+
+Run:  python examples/extend_new_app.py
+"""
+
+import random
+
+from repro import EnCore
+from repro.parsers import KeyValueParser
+from repro.sysmodel.image import ConfigFile, SystemImage
+
+
+def make_redis_image(index: int) -> SystemImage:
+    """A coherent Redis host: config + matching environment."""
+    rng = random.Random(f"redis:{index}")
+    image = SystemImage(f"redis-{index:03d}")
+    image.accounts.ensure_service_account("redis", 115)
+    workdir = rng.choice(["/var/lib/redis", f"/srv/redis-{rng.randrange(8)}"])
+    logfile = "/var/log/redis/redis-server.log"
+    image.fs.add_dir(workdir, owner="redis", group="redis", mode=0o750)
+    image.fs.add_file(logfile, owner="redis", group="redis", mode=0o640)
+    maxmemory = rng.choice(["256M", "512M", "1G"])
+    port = "6379"
+    image.add_config_file(
+        ConfigFile(
+            "redis", "/etc/redis/redis.conf",
+            f"port {port}\n"
+            f"dir {workdir}\n"
+            f"logfile {logfile}\n"
+            f"maxmemory {maxmemory}\n"
+            "maxmemory-policy allkeys-lru\n"
+            "user redis\n"
+            "appendonly no\n",
+        )
+    )
+    return image
+
+
+def main() -> None:
+    encore = EnCore()
+    # One line of integration: a lens for the new app's format.
+    encore.assembler.parsers.register(KeyValueParser(app="redis"))
+
+    images = [make_redis_image(i) for i in range(41)]
+    training, held_out = images[:40], images[40]
+    model = encore.train(training)
+    print(f"trained on 40 redis images: {model.rule_count} rules, e.g.:")
+    for rule in model.rules.sorted_by_confidence()[:5]:
+        print(f"  {rule}")
+
+    broken = held_out.copy("redis-broken")
+    workdir = None
+    for line in broken.config_file("redis").text.splitlines():
+        if line.startswith("dir "):
+            workdir = line.split(None, 1)[1]
+    broken.fs.chown(workdir, owner="root", group="root")
+    print(f"\nInjected: chown root {workdir}")
+
+    report = encore.check(broken)
+    print(report.render(limit=5))
+    print(f"\nRoot cause ranked #{report.rank_of_attribute('dir')} — the "
+          "predefined ownership template transferred to the new app "
+          "without any new rules being written by hand.")
+
+
+if __name__ == "__main__":
+    main()

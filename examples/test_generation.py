@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Rule-guided configuration-test generation (paper §8).
+
+Configuration testing tools "can benefit from EnCore since it provides
+new error injection opportunities such as erroneous environment settings
+and violations of correlation rules".  This example uses a trained
+model to synthesize targeted test cases — each engineered to violate one
+learned rule — and validates them with the detector as oracle.
+
+Run:  python examples/test_generation.py
+"""
+
+from collections import Counter
+
+from repro import EnCore
+from repro.corpus import Ec2CorpusGenerator
+from repro.testing import RuleGuidedTestGenerator
+
+
+def main() -> None:
+    images = Ec2CorpusGenerator(seed=31).generate(81)
+    training, seed_image = images[:80], images[80]
+
+    encore = EnCore()
+    model = encore.train(training)
+    print(f"trained: {model.rule_count} rules")
+
+    generator = RuleGuidedTestGenerator(model)
+    target = encore.assembler.assemble(seed_image)
+    tests = generator.generate(seed_image, target, max_tests=30)
+
+    kinds = Counter(test.mutation_kind for test in tests)
+    print(f"\ngenerated {len(tests)} targeted test cases "
+          f"({kinds['environment']} environment, {kinds['config']} config):")
+    for test in tests[:8]:
+        print(f"  {test}")
+
+    print("\nvalidating with the detector as oracle...")
+    confirmed = 0
+    for test in tests:
+        report = encore.check(test.image)
+        if any(w.rule is not None and w.rule.key == test.rule.key
+               for w in report.warnings):
+            confirmed += 1
+    print(f"  {confirmed}/{len(tests)} mutants flagged on their targeted rule")
+    print(
+        "\nEnvironment mutations (chown/chmod/path removal) are injection "
+        "opportunities ConfErr cannot produce — the §8 enhancement EnCore "
+        "enables."
+    )
+
+
+if __name__ == "__main__":
+    main()

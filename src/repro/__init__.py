@@ -1,0 +1,49 @@
+"""repro — a reproduction of EnCore (ASPLOS 2014).
+
+EnCore detects software misconfigurations by learning configuration rules
+from a training set of configured systems, exploiting two signals prior
+black-box tools ignored: the *system environment* in which a configuration
+value is used, and *correlations* between configuration entries.
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sysmodel` — systems-as-data substrate (images, filesystems,
+  accounts, services, hardware);
+* :mod:`repro.parsers` — configuration-file lenses (Apache, MySQL, PHP,
+  sshd, generic);
+* :mod:`repro.mining` — from-scratch Apriori / FP-Growth / entropy (the
+  §2.2 comparison substrate);
+* :mod:`repro.core` — the EnCore pipeline: assembler, type inference,
+  environment augmentation, template-guided rule inference, anomaly
+  detection;
+* :mod:`repro.corpus` — synthetic EC2-like and private-cloud corpora plus
+  the real-world cases of Table 9;
+* :mod:`repro.injection` — ConfErr-style error injection;
+* :mod:`repro.baselines` — PeerPressure-style value comparison baselines.
+
+Quickstart::
+
+    from repro import EnCore
+    from repro.corpus import Ec2CorpusGenerator
+
+    images = Ec2CorpusGenerator(seed=7).generate(count=60)
+    encore = EnCore()
+    encore.train(images)
+    report = encore.check(target_image)
+"""
+
+from repro.core.pipeline import EnCore, EnCoreConfig, TrainedModel
+from repro.core.report import Report
+from repro.core.detector import Warning, WarningKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnCore",
+    "EnCoreConfig",
+    "Report",
+    "TrainedModel",
+    "Warning",
+    "WarningKind",
+    "__version__",
+]

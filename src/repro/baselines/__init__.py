@@ -1,0 +1,22 @@
+"""Baseline misconfiguration detectors (paper §7.1.1, Table 8).
+
+Two comparison points:
+
+* :class:`ValueComparisonBaseline` ("Baseline") — PeerPressure/Strider-
+  style detection over the raw configuration values only: an entry is
+  suspicious when its value deviates from the values seen across peers,
+  ranked by Inverse Change Frequency.  No environment information, no
+  correlations.
+* :class:`EnvAugmentedBaseline` ("Baseline+Env") — the same statistical
+  detection, but over the environment-augmented attribute table (types
+  and augmented columns included), still without correlation rules.
+
+Both expose ``train(images)`` / ``check(image)`` mirroring
+:class:`repro.core.pipeline.EnCore`, so the injection benchmark can drive
+all three identically.
+"""
+
+from repro.baselines.peerpressure import EnvAugmentedBaseline, ValueComparisonBaseline
+from repro.baselines.strider import StriderBaseline
+
+__all__ = ["EnvAugmentedBaseline", "StriderBaseline", "ValueComparisonBaseline"]

@@ -1,0 +1,110 @@
+"""PeerPressure-style value-comparison baselines.
+
+PeerPressure (Wang et al., OSDI'04) troubleshoots by comparing a suspect
+system's configuration values against a corpus of peer systems; values
+rare among peers are suspects.  The paper's "Baseline" row models the
+family of detectors built on this idea (Strider, PeerPressure, [34]):
+pure value statistics over configuration entries treated as opaque
+strings.
+
+"Baseline+Env" enhances it with EnCore's type-based environment
+integration — the augmented attribute table — but still uses only
+per-attribute value statistics (no correlation rules).  The paper uses
+this split to attribute EnCore's gains to each ingredient separately
+(Table 8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.assembler import DataAssembler
+from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.detector import Warning, WarningKind, _BASE_SCORE
+from repro.core.report import Report
+from repro.sysmodel.image import SystemImage
+
+
+class ValueComparisonBaseline:
+    """Detects entries whose value is unseen among peers (no environment).
+
+    Also flags unseen entry *names* (the misspelling check predates
+    EnCore — Strider-style tools catch it from the value store).
+    """
+
+    #: Whether assembly integrates environment data (overridden in the
+    #: Baseline+Env subclass).
+    augment_environment = False
+
+    def __init__(self) -> None:
+        self.assembler = DataAssembler(augment_environment=self.augment_environment)
+        self.dataset: Optional[Dataset] = None
+
+    def train(self, images: Iterable[SystemImage]) -> Dataset:
+        """Collect per-attribute value statistics from peer systems."""
+        self.dataset = self.assembler.assemble_corpus(images)
+        return self.dataset
+
+    def check(self, image: SystemImage) -> Report:
+        """Rank the target's deviations from peer value statistics."""
+        if self.dataset is None:
+            raise RuntimeError("call train() before check()")
+        target = self.assembler.assemble(image)
+        warnings = self._detect(target)
+        warnings.sort(key=lambda w: (-w.score, w.kind.value, w.attribute))
+        return Report(image.image_id, warnings)
+
+    def _detect(self, target: AssembledSystem) -> List[Warning]:
+        assert self.dataset is not None
+        out: List[Warning] = []
+        for attribute in target.attributes():
+            typed = target.get(attribute)
+            assert typed is not None
+            stats = self.dataset.stats(attribute)
+            if stats is None:
+                app, _, name = attribute.partition(":")
+                if attribute.startswith("env:") or "." in name:
+                    continue
+                out.append(
+                    Warning(
+                        WarningKind.ENTRY_NAME, attribute,
+                        f"entry {name!r} never seen among peers",
+                        _BASE_SCORE[WarningKind.ENTRY_NAME],
+                        value=typed.value,
+                    )
+                )
+                continue
+            if stats.seen(typed.value):
+                continue
+            # Value comparison has no signal on free-varying columns —
+            # this is exactly why plain PeerPressure "does not detect
+            # wrong file paths" (§7.1.1).
+            if stats.is_free_varying():
+                continue
+            icf = stats.inverse_change_frequency()
+            score = _BASE_SCORE[WarningKind.SUSPICIOUS_VALUE] + icf
+            if stats.cardinality == 1:
+                score += 0.5
+            out.append(
+                Warning(
+                    WarningKind.SUSPICIOUS_VALUE, attribute,
+                    f"value {typed.value!r} deviates from all peer values",
+                    score,
+                    value=typed.value,
+                    evidence=f"{stats.cardinality} distinct peer value(s), ICF={icf:.3f}",
+                )
+            )
+        return out
+
+
+class EnvAugmentedBaseline(ValueComparisonBaseline):
+    """Baseline+Env: peer value comparison over the augmented table.
+
+    The augmented columns (``*.type``, ``*.owner``, ``*.permission``, env
+    rows) let pure value comparison catch environment-visible problems —
+    "Baseline does not detect wrong file paths, as they usually vary
+    substantially across the training set, but they are captured by
+    Baseline+Env" (§7.1.1) — still without any correlation reasoning.
+    """
+
+    augment_environment = True

@@ -1,0 +1,110 @@
+"""Strider-style change-and-configuration troubleshooting baseline.
+
+Strider (Wang et al., LISA'03) diagnoses misconfigurations by comparing a
+failing system's state against a known-good snapshot and narrowing the
+difference set with cross-machine *change frequency*: entries that change
+often across healthy machines are unlikely culprits, so the differences
+are ranked by inverse change frequency.
+
+Unlike PeerPressure (which replaced the labeled good state with pure
+statistics), Strider needs a designated healthy reference.  This
+implementation follows that protocol:
+
+1. diff the target's assembled entries against the reference system;
+2. drop differences on entries whose values churn across the healthy
+   peer set (high change frequency);
+3. rank the rest by inverse change frequency.
+
+Included for the Related Work comparison (§8); the Table 8 harness uses
+the PeerPressure-style baselines, but tests and the cross-detector
+example exercise this one too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.assembler import DataAssembler
+from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.detector import Warning, WarningKind
+from repro.core.report import Report
+from repro.sysmodel.image import SystemImage
+
+
+class StriderBaseline:
+    """Known-good-state diffing with change-frequency ranking."""
+
+    def __init__(self, max_change_frequency: float = 0.5) -> None:
+        #: Entries changing in more than this fraction of healthy peers
+        #: are considered churn and excluded from diagnosis.
+        self.max_change_frequency = max_change_frequency
+        self.assembler = DataAssembler(augment_environment=False)
+        self.reference: Optional[AssembledSystem] = None
+        self.peers: Optional[Dataset] = None
+
+    def train(
+        self, healthy_peers: Iterable[SystemImage],
+        reference: Optional[SystemImage] = None,
+    ) -> Dataset:
+        """Record the healthy peer statistics and the good reference.
+
+        When *reference* is omitted, the first peer serves as the known
+        good state (Strider's manual labeling, automated away here).
+        """
+        images = list(healthy_peers)
+        if not images:
+            raise ValueError("Strider needs at least one healthy peer")
+        self.peers = self.assembler.assemble_corpus(images)
+        self.reference = self.assembler.assemble(
+            reference if reference is not None else images[0]
+        )
+        return self.peers
+
+    def change_frequency(self, attribute: str) -> float:
+        """Fraction of healthy peers whose value differs from the mode."""
+        assert self.peers is not None
+        stats = self.peers.stats(attribute)
+        if stats is None or stats.present_count == 0:
+            return 1.0
+        dominant = max(count for _, count in stats.value_counts)
+        return 1.0 - dominant / stats.present_count
+
+    def check(self, image: SystemImage) -> Report:
+        """Diff against the reference, filter churn, rank by ICF."""
+        if self.reference is None or self.peers is None:
+            raise RuntimeError("call train() before check()")
+        target = self.assembler.assemble(image)
+        warnings: List[Warning] = []
+        for attribute in target.attributes():
+            target_value = target.value(attribute)
+            reference_value = self.reference.value(attribute)
+            if reference_value is None:
+                stats = self.peers.stats(attribute)
+                if stats is None:
+                    warnings.append(
+                        Warning(
+                            WarningKind.ENTRY_NAME, attribute,
+                            "entry absent from the known-good state",
+                            1.0, value=target_value,
+                        )
+                    )
+                continue
+            if target_value == reference_value:
+                continue
+            frequency = self.change_frequency(attribute)
+            if frequency > self.max_change_frequency:
+                continue  # churny entry: not diagnostic
+            stats = self.peers.stats(attribute)
+            icf = stats.inverse_change_frequency() if stats else 0.0
+            warnings.append(
+                Warning(
+                    WarningKind.SUSPICIOUS_VALUE, attribute,
+                    f"differs from known-good state "
+                    f"({target_value!r} vs {reference_value!r})",
+                    icf + (0.5 if stats and stats.cardinality == 1 else 0.0),
+                    value=target_value,
+                    evidence=f"change frequency {frequency:.2f} among peers",
+                )
+            )
+        warnings.sort(key=lambda w: (-w.score, w.attribute))
+        return Report(image.image_id, warnings)

@@ -1,0 +1,223 @@
+"""Command-line interface for the EnCore reproduction.
+
+Subcommands mirror the usage scenario of the paper (§3: "The user inputs
+the training set to EnCore together with the system to be checked"):
+
+* ``generate`` — produce a corpus of synthetic image snapshots (JSON);
+* ``train``    — learn rules from a directory of snapshots, save them;
+* ``check``    — check one snapshot against a training directory (and
+  optionally a saved rule file), print the ranked report;
+* ``suggest``  — same as check, plus remediation suggestions;
+* ``audit``    — sweep a directory of snapshots and summarise findings.
+
+Example::
+
+    python -m repro generate --out corpus/ --count 60 --seed 7
+    python -m repro train --training corpus/ --rules rules.json
+    python -m repro check --training corpus/ --target corpus/ami-070000.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.pipeline import EnCore, EnCoreConfig
+from repro.core.repair import RepairAdvisor
+from repro.corpus.generator import Ec2CorpusGenerator
+from repro.corpus.private_cloud import PrivateCloudGenerator
+from repro.sysmodel.image import SystemImage
+from repro.sysmodel.snapshot import load_image, save_image
+
+
+def _load_corpus(directory: Optional[Path]) -> List[SystemImage]:
+    if directory is None:
+        raise SystemExit("--training is required (or pass --model)")
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        raise SystemExit(f"no snapshots (*.json) found in {directory}")
+    return [load_image(path) for path in paths]
+
+
+def _build_encore(args: argparse.Namespace) -> EnCore:
+    customization = None
+    if getattr(args, "customize", None):
+        customization = Path(args.customize).read_text()
+    config = EnCoreConfig(
+        min_support_fraction=args.min_support,
+        min_confidence=args.min_confidence,
+        use_entropy_filter=not args.no_entropy,
+        customization_text=customization,
+    )
+    return EnCore(config)
+
+
+def _train(args: argparse.Namespace, encore: EnCore) -> None:
+    images = _load_corpus(Path(args.training) if args.training else None)
+    model = encore.train(images)
+    summary = model.summary()
+    print(
+        f"trained on {summary['training_systems']} systems: "
+        f"{summary['attributes']} attributes, {summary['rules']} rules"
+    )
+
+
+# -- subcommands ----------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    cls = PrivateCloudGenerator if args.population == "private-cloud" else Ec2CorpusGenerator
+    generator = cls(seed=args.seed)
+    for image in generator.generate(args.count):
+        save_image(image, out / f"{image.image_id}.json")
+    print(f"wrote {args.count} snapshots to {out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    encore = _build_encore(args)
+    _train(args, encore)
+    if args.rules:
+        encore.save_rules(args.rules)
+        print(f"rules saved to {args.rules}")
+    if args.model:
+        encore.save_model(args.model)
+        print(f"model snapshot saved to {args.model}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    encore = _build_encore(args)
+    if args.model:
+        # A model snapshot replaces training entirely: the checking side
+        # needs no corpus ("the learned rules can be reused", paper S3).
+        encore.load_model(args.model)
+        print(f"model snapshot loaded from {args.model}")
+    else:
+        _train(args, encore)
+        if args.rules:
+            encore.load_rules(args.rules)
+            print(f"rules loaded from {args.rules}")
+    target = load_image(Path(args.target))
+    report = encore.check(target)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=1))
+    else:
+        print()
+        print(report.render(limit=args.limit))
+    return 0 if not report.warnings else 1
+
+
+def cmd_suggest(args: argparse.Namespace) -> int:
+    encore = _build_encore(args)
+    _train(args, encore)
+    target_image = load_image(Path(args.target))
+    report = encore.check(target_image)
+    print(report.render(limit=args.limit))
+    assert encore.model is not None
+    advisor = RepairAdvisor(encore.model.dataset)
+    target = encore.assembler.assemble(target_image)
+    suggestions = advisor.suggest(report, target)
+    if not suggestions:
+        print("\nno remediation suggestions (clean system)")
+        return 0
+    print("\nremediation suggestions:")
+    for suggestion in suggestions[: args.limit]:
+        print(f"  {suggestion}")
+        if suggestion.rationale:
+            print(f"      rationale: {suggestion.rationale}")
+    return 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    encore = _build_encore(args)
+    _train(args, encore)
+    targets = _load_corpus(Path(args.targets))
+    flagged = 0
+    for image in targets:
+        report = encore.check(image)
+        if report.warnings:
+            flagged += 1
+            top = report.warnings[0]
+            print(f"{image.image_id}: {len(report.warnings)} warning(s); "
+                  f"top: {top}")
+        elif args.verbose:
+            print(f"{image.image_id}: clean")
+    print(f"\naudit complete: {flagged}/{len(targets)} systems flagged")
+    return 0
+
+
+# -- argument parsing -------------------------------------------------------------
+
+
+def _add_model_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--training",
+                        help="directory of training snapshots (*.json); "
+                             "required unless --model is given")
+    parser.add_argument("--min-support", type=float, default=0.10,
+                        help="support threshold as a fraction of images")
+    parser.add_argument("--min-confidence", type=float, default=0.90)
+    parser.add_argument("--no-entropy", action="store_true",
+                        help="disable the entropy filter")
+    parser.add_argument("--customize", help="Figure 6 customization file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EnCore (ASPLOS 2014) misconfiguration detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic corpus")
+    p.add_argument("--out", required=True)
+    p.add_argument("--count", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--population", choices=["ec2", "private-cloud"], default="ec2")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("train", help="learn rules from a training directory")
+    _add_model_options(p)
+    p.add_argument("--rules", help="write learned rules to this JSON file")
+    p.add_argument("--model", help="write a full model snapshot (stats + rules)")
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("check", help="check one target snapshot")
+    _add_model_options(p)
+    p.add_argument("--target", required=True, help="target snapshot (.json)")
+    p.add_argument("--rules", help="load rules from this JSON file instead")
+    p.add_argument("--model", help="load a full model snapshot (skips training)")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("suggest", help="check + remediation suggestions")
+    _add_model_options(p)
+    p.add_argument("--target", required=True)
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=cmd_suggest)
+
+    p = sub.add_parser("audit", help="sweep a directory of snapshots")
+    _add_model_options(p)
+    p.add_argument("--targets", required=True,
+                   help="directory of snapshots to audit")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Data assembler (paper §4 and Figure 3).
+
+Parses raw configuration files into uniform key-value pairs, infers the
+semantic type of every entry, augments typed entries with environment
+attributes, and appends system-wide environment columns.  The output is an
+:class:`~repro.core.dataset.AssembledSystem` per image and a
+:class:`~repro.core.dataset.Dataset` per training set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.augment import Augmenter
+from repro.core.collector import RawCollection
+from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.types import ConfigType, TypeInferencer, TypeRegistry
+from repro.parsers.base import ConfigEntry
+from repro.parsers.registry import ParserRegistry, default_registry
+from repro.sysmodel.image import SystemImage
+
+
+class DataAssembler:
+    """Parse → type-infer → augment, per Figure 3 of the paper.
+
+    ``augment_environment=False`` disables all environment integration,
+    producing the table the plain value-comparison baseline sees (Table 8's
+    "Baseline" row) and the "Original" column of Table 2.
+    """
+
+    def __init__(
+        self,
+        parsers: Optional[ParserRegistry] = None,
+        type_registry: Optional[TypeRegistry] = None,
+        augmenter: Optional[Augmenter] = None,
+        augment_environment: bool = True,
+    ) -> None:
+        self.parsers = parsers if parsers is not None else default_registry()
+        self.inferencer = TypeInferencer(type_registry)
+        self.augmenter = augmenter if augmenter is not None else Augmenter()
+        self.augment_environment = augment_environment
+
+    # -- single system ----------------------------------------------------------
+
+    def assemble(self, image: SystemImage) -> AssembledSystem:
+        """Assemble one image into a typed, augmented attribute row."""
+        system = AssembledSystem(
+            image, environment_available=self.augment_environment
+        )
+        for config in image.config_files():
+            entries = self.parsers.parse(config.app, config.text, config.path)
+            for entry in entries:
+                self._add_entry(system, entry, image)
+        if self.augment_environment:
+            for name, attr in Augmenter.environment_attributes(image).items():
+                system.set(f"env:{name}", attr.value, attr.type, augmented=True)
+        return system
+
+    def assemble_raw(self, collection: RawCollection) -> AssembledSystem:
+        """Assemble from a collector dump instead of a live image."""
+        return self.assemble(collection.restore_image())
+
+    def _add_entry(
+        self, system: AssembledSystem, entry: ConfigEntry, image: SystemImage
+    ) -> None:
+        env = image if self.augment_environment else None
+        config_type = self.inferencer.infer(entry.value, env)
+        attribute = entry.qualified_name
+        system.set(attribute, entry.value, config_type)
+        if not self.augment_environment:
+            return
+        # A value that *looks* like a path but fails semantic verification
+        # is demoted to String for typing purposes — yet "the path does
+        # not exist" is itself environment information (Figure 1a).
+        # Augment it as a FilePath so the ``.type = missing`` column
+        # carries that fact to the detectors.
+        augment_type = config_type
+        if config_type.is_trivial or config_type is ConfigType.STRING:
+            syntactic = self.inferencer.infer_syntactic_only(entry.value)
+            if syntactic is ConfigType.FILE_PATH:
+                augment_type = syntactic
+        for augmented in self.augmenter.augment(entry.value, augment_type, image):
+            system.set(
+                f"{attribute}.{augmented.suffix}", augmented.value,
+                augmented.type, augmented=True,
+            )
+
+    # -- corpora ---------------------------------------------------------------
+
+    def assemble_corpus(self, images: Iterable[SystemImage]) -> Dataset:
+        """Assemble a full training set into a :class:`Dataset`."""
+        return Dataset(self.assemble(image) for image in images)
+
+    def assemble_collections(self, collections: Iterable[RawCollection]) -> Dataset:
+        """Assemble a dataset from collector output."""
+        return Dataset(self.assemble_raw(c) for c in collections)
+
+
+def attribute_counts(image: SystemImage, assembler: Optional[DataAssembler] = None) -> dict:
+    """Original vs augmented attribute-occurrence counts for one image.
+
+    Reproduces the per-app methodology behind Table 2: "Original" counts
+    parsed entry occurrences; "Augmented" counts occurrences after
+    environment integration.  (The "Binomial" column comes from
+    :func:`repro.mining.itemsets.discretize_binomial` over a corpus.)
+    """
+    plain = DataAssembler(augment_environment=False)
+    rich = assembler if assembler is not None else DataAssembler()
+    return {
+        "original": plain.assemble(image).occurrence_count(),
+        "augmented": rich.assemble(image).occurrence_count(),
+    }

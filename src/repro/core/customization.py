@@ -1,0 +1,386 @@
+"""The customization file (paper §5.3, Figure 6).
+
+Users customize EnCore through a single file with seven ``$$``-prefixed
+sections:
+
+* ``$$TypeDeclaration`` — names of new types;
+* ``$$TypeInference`` — per-type syntactic matching method;
+* ``$$TypeValidation`` — per-type semantic verification method;
+* ``$$TypeAugmentDeclaration`` — names+types of new augmented attributes;
+* ``$$TypeAugment`` — methods computing the augmented values;
+* ``$$TypeOperator`` — aggregation / comparison operators for templates;
+* ``$$Template`` — new rule templates with optional confidence.
+
+Method bodies use the Figure 6 mini-syntax::
+
+    <Name> (arg1, arg2): { return <python expression> }
+
+The expression is evaluated with the declared arguments in scope plus the
+environment accessors of Table 7 (``FS``, ``Acct``, ``Service``, ``Env``,
+``Sec``, ``HW``) bound to the system image under inspection.  Custom types
+take priority over predefined ones, in file order (§5.3.1).
+
+The paper notes predefined inference methods run 7–12 LoC of Python and
+template methods 4–20; this single-expression DSL covers that scale while
+keeping evaluation sandboxed (no statements, no imports, no dunder
+access).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.augment import Augmenter
+from repro.core.templates import RelationKind, RuleTemplate
+from repro.core.types import ConfigType, TypeDefinition, TypeRegistry
+from repro.sysmodel.image import SystemImage
+
+_SECTION_RX = re.compile(r"^\$\$(\w+)\s*$")
+_METHOD_RX = re.compile(
+    r"^\s*(?P<name>[\w.<>]+)\s*\((?P<args>[^)]*)\)\s*:\s*\{\s*return\s+(?P<expr>.+?)\s*\}\s*$",
+    re.DOTALL,
+)
+_TEMPLATE_RX = re.compile(
+    r"^\s*\[A\]\s*(?P<op>\S+)\s*\[B\]\s*"
+    r"<(?P<type_a>\w+)\s*,\s*(?P<type_b>\w+)>\s*"
+    r"(?:--\s*(?P<conf>\d+)%\s*)?$"
+)
+_AUGDECL_RX = re.compile(r"^\s*(?P<type>\w+)\.(?P<suffix>\w+)\s*<(?P<vtype>\w+)>\s*$")
+
+
+class CustomizationError(ValueError):
+    """Raised on malformed customization files."""
+
+
+_FORBIDDEN = re.compile(r"__|\bimport\b|\bexec\b|\beval\b|\bopen\b|\blambda\b")
+
+
+def _compile_expression(expr: str, arg_names: Sequence[str]) -> Callable:
+    """Compile a Figure 6 method body into a callable.
+
+    The returned callable takes the declared arguments plus a keyword-only
+    ``_env`` dict of Table 7 accessors merged into the namespace.
+    """
+    if _FORBIDDEN.search(expr):
+        raise CustomizationError(f"forbidden construct in expression: {expr!r}")
+    try:
+        code = compile(expr, "<customization>", "eval")
+    except SyntaxError as exc:
+        raise CustomizationError(f"invalid expression {expr!r}: {exc}") from exc
+
+    def method(*args, _env: Optional[Dict[str, object]] = None):
+        if len(args) != len(arg_names):
+            raise TypeError(
+                f"expected {len(arg_names)} argument(s) {tuple(arg_names)}, "
+                f"got {len(args)}"
+            )
+        namespace: Dict[str, object] = {
+            "True": True, "False": False, "None": None,
+            "len": len, "str": str, "int": int, "float": float,
+            "abs": abs, "min": min, "max": max, "any": any, "all": all,
+            "sorted": sorted,
+        }
+        if _env:
+            namespace.update(_env)
+        namespace.update(zip(arg_names, args))
+        return eval(code, {"__builtins__": {}}, namespace)  # noqa: S307
+
+    method.arg_names = tuple(arg_names)  # type: ignore[attr-defined]
+    method.expression = expr  # type: ignore[attr-defined]
+    return method
+
+
+class _EnvNamespace:
+    """Attribute-style access for Table 7 data structures (``FS.FileList``)."""
+
+    def __init__(self, **members: object) -> None:
+        self.__dict__.update(members)
+
+
+def environment_namespace(image: Optional[SystemImage]) -> Dict[str, object]:
+    """The Table 7 global variables for one image (empty when ``None``)."""
+    if image is None:
+        return {}
+    hardware = image.hardware
+    return {
+        "FS": _EnvNamespace(
+            FileList=image.fs.file_list(),
+            FileMetaMap=image.fs.meta_map(),
+        ),
+        "Acct": _EnvNamespace(
+            UserList=image.accounts.user_list(),
+            GroupList=image.accounts.group_list(),
+            UserGroupMap=image.accounts.user_group_map(),
+        ),
+        "Service": _EnvNamespace(
+            Ports=image.services.ports(),
+            PortServMap=image.services.port_service_map(),
+        ),
+        "Env": _EnvNamespace(
+            VarValueMap=dict(image.env_vars) if image.running else {},
+        ),
+        "Sec": _EnvNamespace(SELinux=image.os_info.selinux.value),
+        "HW": _EnvNamespace(
+            Cores=hardware.cpu_threads if hardware.available else None,
+            Memory=hardware.memory_bytes if hardware.available else None,
+            DiskSize=hardware.disk_bytes if hardware.available else None,
+        ),
+    }
+
+
+@dataclass
+class CustomTemplateSpec:
+    """A parsed ``$$Template`` line before operator binding."""
+
+    operator: str
+    type_a: str
+    type_b: str
+    min_confidence: Optional[float] = None
+
+
+@dataclass
+class Customization:
+    """Parsed customization file, ready to apply to the pipeline pieces."""
+
+    type_names: List[str] = field(default_factory=list)
+    inference_methods: Dict[str, Callable] = field(default_factory=dict)
+    validation_methods: Dict[str, Callable] = field(default_factory=dict)
+    augment_declarations: List[Tuple[str, str, str]] = field(default_factory=list)
+    augment_methods: Dict[str, Callable] = field(default_factory=dict)
+    operators: Dict[Tuple[str, str], Callable] = field(default_factory=dict)
+    template_specs: List[CustomTemplateSpec] = field(default_factory=list)
+
+    # -- application -------------------------------------------------------------
+
+    def custom_config_type(self, name: str) -> ConfigType:
+        """Custom types are surfaced as ``ConfigType`` members when they
+        shadow a predefined name, otherwise as the closest carrier
+        (``STRING``-typed custom semantics still work: templates bind by
+        declared name through :meth:`build_templates`)."""
+        try:
+            return ConfigType(name)
+        except ValueError:
+            return ConfigType.STRING
+
+    def apply_to_type_registry(self, registry: TypeRegistry) -> None:
+        """Register declared types (file order = priority, §5.3.1)."""
+        for name in self.type_names:
+            infer = self.inference_methods.get(name)
+            validate = self.validation_methods.get(name)
+            if infer is None:
+                raise CustomizationError(f"type {name!r} lacks a $$TypeInference method")
+            config_type = self.custom_config_type(name)
+
+            def syntactic(value: str, _m=infer) -> bool:
+                return bool(_m(value))
+
+            def semantic(value: str, image: Optional[SystemImage], _m=validate) -> bool:
+                if _m is None:
+                    return True
+                return bool(_m(value, _env=environment_namespace(image)))
+
+            registry.register(
+                TypeDefinition(config_type, syntactic, semantic,
+                               description=f"custom type {name}")
+            )
+
+    def apply_to_augmenter(self, augmenter: Augmenter) -> None:
+        """Register declared augmented attributes with their methods."""
+        for type_name, suffix, value_type_name in self.augment_declarations:
+            method = self.augment_methods.get(f"{type_name}.{suffix}")
+            if method is None:
+                raise CustomizationError(
+                    f"augmented attribute {type_name}.{suffix} lacks a "
+                    f"$$TypeAugment method"
+                )
+            config_type = self.custom_config_type(type_name)
+            value_type = self.custom_config_type(value_type_name)
+
+            def compute(value: str, image: SystemImage, _m=method) -> Optional[str]:
+                result = _m(value, _env=environment_namespace(image))
+                return None if result is None else str(result)
+
+            augmenter.register(config_type, suffix, value_type, compute)
+
+    def build_templates(self) -> List[RuleTemplate]:
+        """Materialise ``$$Template`` lines into :class:`RuleTemplate`\\ s."""
+        out: List[RuleTemplate] = []
+        for index, spec in enumerate(self.template_specs):
+            method = self._operator_method(spec)
+            type_a = self.custom_config_type(spec.type_a)
+            type_b = self.custom_config_type(spec.type_b)
+
+            def validator(a, b, system, _m=method):
+                result = _m(
+                    a.value, b.value,
+                    _env=environment_namespace(system.image),
+                )
+                return None if result is None else bool(result)
+
+            out.append(
+                RuleTemplate(
+                    name=f"custom_{index}_{spec.operator}",
+                    type_a=type_a,
+                    type_b=type_b,
+                    relation=RelationKind.EQUAL if spec.operator == "==" else RelationKind.LESS_NUMBER,
+                    validator=validator,
+                    description=(
+                        f"custom template [A:{spec.type_a}] {spec.operator} "
+                        f"[B:{spec.type_b}]"
+                    ),
+                    # Equality is order-insensitive; skip mirrored pairs.
+                    symmetric=(spec.operator == "=="),
+                )
+            )
+        return out
+
+    def _operator_method(self, spec: CustomTemplateSpec) -> Callable:
+        for key in (
+            (spec.type_a, spec.operator),
+            (spec.type_b, spec.operator),
+            ("*", spec.operator),
+        ):
+            if key in self.operators:
+                return self.operators[key]
+        raise CustomizationError(
+            f"no $$TypeOperator defines {spec.operator!r} for types "
+            f"{spec.type_a}/{spec.type_b}"
+        )
+
+
+def parse_customization(text: str) -> Customization:
+    """Parse the seven-section customization format of Figure 6."""
+    custom = Customization()
+    section: Optional[str] = None
+    buffer: List[str] = []
+
+    def flush() -> None:
+        if section is None:
+            return
+        body = "\n".join(buffer).strip()
+        if body:
+            _dispatch_section(custom, section, body)
+
+    for line in text.splitlines():
+        match = _SECTION_RX.match(line.strip())
+        if match:
+            flush()
+            section = match.group(1)
+            buffer = []
+        else:
+            buffer.append(line)
+    flush()
+    return custom
+
+
+_KNOWN_SECTIONS = {
+    "TypeDeclaration", "TypeInference", "TypeValidation",
+    "TypeAugmentDeclaration", "TypeAugment", "TypeOperator", "Template",
+}
+
+
+def _dispatch_section(custom: Customization, section: str, body: str) -> None:
+    if section not in _KNOWN_SECTIONS:
+        raise CustomizationError(f"unknown section $${section}")
+    handler = {
+        "TypeDeclaration": _parse_type_declaration,
+        "TypeInference": _parse_method_into(custom.inference_methods),
+        "TypeValidation": _parse_method_into(custom.validation_methods),
+        "TypeAugmentDeclaration": _parse_augment_declaration,
+        "TypeAugment": _parse_method_into(custom.augment_methods),
+        "TypeOperator": _parse_operator,
+        "Template": _parse_template,
+    }[section]
+    handler(custom, body)
+
+
+def _parse_type_declaration(custom: Customization, body: str) -> None:
+    for line in body.splitlines():
+        name = line.strip()
+        if name:
+            custom.type_names.append(name)
+
+
+def _parse_method_into(target: Dict[str, Callable]):
+    def handler(custom: Customization, body: str) -> None:
+        for name, method in _parse_methods(body):
+            target[name] = method
+
+    return handler
+
+
+def _parse_methods(body: str) -> List[Tuple[str, Callable]]:
+    out: List[Tuple[str, Callable]] = []
+    # A section may hold several "Name (args): { return expr }" methods,
+    # each possibly spanning lines; split on closing braces.
+    for chunk in re.split(r"(?<=\})\s*\n", body):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        match = _METHOD_RX.match(chunk)
+        if not match:
+            raise CustomizationError(f"malformed method: {chunk!r}")
+        args = [a.strip() for a in match.group("args").split(",") if a.strip()]
+        out.append(
+            (match.group("name"), _compile_expression(match.group("expr"), args))
+        )
+    return out
+
+
+def _parse_augment_declaration(custom: Customization, body: str) -> None:
+    for line in body.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        match = _AUGDECL_RX.match(line)
+        if not match:
+            raise CustomizationError(f"malformed augment declaration: {line!r}")
+        custom.augment_declarations.append(
+            (match.group("type"), match.group("suffix"), match.group("vtype"))
+        )
+
+
+_OPERATOR_HEADER_RX = re.compile(
+    r"^\s*(?P<type>\w+)\s*:\s*Operator\s*'(?P<op>[^']+)'\s*$"
+)
+
+
+def _parse_operator(custom: Customization, body: str) -> None:
+    lines = [l for l in body.splitlines() if l.strip()]
+    index = 0
+    while index < len(lines):
+        header = _OPERATOR_HEADER_RX.match(lines[index])
+        if not header:
+            raise CustomizationError(f"malformed operator header: {lines[index]!r}")
+        index += 1
+        method_lines: List[str] = []
+        while index < len(lines) and not _OPERATOR_HEADER_RX.match(lines[index]):
+            method_lines.append(lines[index])
+            index += 1
+        methods = _parse_methods("\n".join(method_lines))
+        if len(methods) != 1:
+            raise CustomizationError(
+                f"operator {header.group('op')!r} needs exactly one method"
+            )
+        custom.operators[(header.group("type"), header.group("op"))] = methods[0][1]
+
+
+def _parse_template(custom: Customization, body: str) -> None:
+    for line in body.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        match = _TEMPLATE_RX.match(line)
+        if not match:
+            raise CustomizationError(f"malformed template line: {line!r}")
+        conf = match.group("conf")
+        custom.template_specs.append(
+            CustomTemplateSpec(
+                operator=match.group("op"),
+                type_a=match.group("type_a"),
+                type_b=match.group("type_b"),
+                min_confidence=int(conf) / 100.0 if conf else None,
+            )
+        )

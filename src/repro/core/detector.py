@@ -1,0 +1,260 @@
+"""Anomaly detector (paper §6).
+
+Given the learned model (rules + type information + training statistics)
+and a target system, the detector performs the paper's four checks and
+produces a ranked warning list:
+
+1. **Entry Name Violation** — entries never seen in training are likely
+   misspellings;
+2. **Correlation Violation** — a learned rule evaluates to false on the
+   target's values;
+3. **Data Type Violation** — the target value fails the syntactic match or
+   semantic verification of the attribute's learned type;
+4. **Suspicious Value** — the value is different from all training values,
+   ranked by Inverse Change Frequency (entries with fewer distinct
+   training values rank higher).
+
+Ranking follows the paper's account: violations whose training evidence
+has cardinality 1 rank "much higher than other possible suspicious
+values"; correlation violations rank by rule confidence (Problem #10 of
+Table 9 was ranked below "another true misconfiguration ... which violates
+a rule with higher confidence").
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence
+
+from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.rules import ConcreteRule, RuleSet
+from repro.core.templates import RuleTemplate, default_templates
+from repro.core.types import TypeInferencer
+
+
+class WarningKind(str, Enum):
+    """The four §6 check categories."""
+
+    ENTRY_NAME = "entry_name_violation"
+    CORRELATION = "correlation_violation"
+    DATA_TYPE = "data_type_violation"
+    SUSPICIOUS_VALUE = "suspicious_value"
+
+
+@dataclass(frozen=True)
+class Warning:
+    """One detector finding.
+
+    ``score`` drives the ranking (higher = more suspicious); ``evidence``
+    is a human-readable account of the training data supporting the
+    warning; ``rule`` is set for correlation violations.
+    """
+
+    kind: WarningKind
+    attribute: str
+    message: str
+    score: float
+    value: Optional[str] = None
+    evidence: str = ""
+    rule: Optional[ConcreteRule] = None
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.attribute}: {self.message} (score={self.score:.3f})"
+
+
+#: Base scores per warning kind; within a kind the statistical component
+#: (ICF, confidence, cardinality) refines the ordering.
+_BASE_SCORE = {
+    WarningKind.DATA_TYPE: 3.0,
+    WarningKind.CORRELATION: 2.0,
+    WarningKind.ENTRY_NAME: 1.0,
+    WarningKind.SUSPICIOUS_VALUE: 0.0,
+}
+
+
+class AnomalyDetector:
+    """Checks target systems against a learned model."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        rules: RuleSet,
+        inferencer: Optional[TypeInferencer] = None,
+        templates: Optional[Sequence[RuleTemplate]] = None,
+        misspelling_cutoff: float = 0.8,
+    ) -> None:
+        self.dataset = dataset
+        self.rules = rules
+        self.inferencer = inferencer if inferencer is not None else TypeInferencer()
+        self._templates = {
+            t.name: t for t in (templates if templates is not None else default_templates())
+        }
+        self.misspelling_cutoff = misspelling_cutoff
+        self._known_names = dataset.entry_names()
+
+    # -- public API ---------------------------------------------------------------
+
+    def detect(self, target: AssembledSystem) -> List[Warning]:
+        """All four checks, merged and ranked (highest score first)."""
+        warnings: List[Warning] = []
+        warnings.extend(self.check_entry_names(target))
+        warnings.extend(self.check_correlations(target))
+        warnings.extend(self.check_types(target))
+        warnings.extend(self.check_suspicious_values(target))
+        return self.rank(warnings)
+
+    @staticmethod
+    def rank(warnings: List[Warning]) -> List[Warning]:
+        """Deterministic order: score desc, then kind, then attribute."""
+        return sorted(
+            warnings, key=lambda w: (-w.score, w.kind.value, w.attribute)
+        )
+
+    # -- check 1: entry names -------------------------------------------------------
+
+    def check_entry_names(self, target: AssembledSystem) -> List[Warning]:
+        """Flag entry names absent from training, suggesting corrections."""
+        out: List[Warning] = []
+        for attribute in target.attributes():
+            if attribute.startswith("env:") or target.is_augmented(attribute):
+                continue  # augmented columns are machine-generated
+            app, _, name = attribute.partition(":")
+            known = self._known_names.get(app)
+            if known is None or name in known:
+                continue
+            base_name = name
+            suggestions = difflib.get_close_matches(
+                base_name, known, n=1, cutoff=self.misspelling_cutoff
+            )
+            if suggestions:
+                message = (
+                    f"unknown entry {base_name!r}; possible misspelling of "
+                    f"{suggestions[0]!r}"
+                )
+                score = _BASE_SCORE[WarningKind.ENTRY_NAME] + 0.5
+            else:
+                message = f"entry {base_name!r} never seen in training set"
+                score = _BASE_SCORE[WarningKind.ENTRY_NAME]
+            out.append(
+                Warning(
+                    WarningKind.ENTRY_NAME, attribute, message, score,
+                    value=target.value(attribute),
+                    evidence=f"{len(known)} known {app} entries",
+                )
+            )
+        return out
+
+    # -- check 2: correlation rules ---------------------------------------------------
+
+    def check_correlations(self, target: AssembledSystem) -> List[Warning]:
+        """Evaluate every learned rule; report violations."""
+        out: List[Warning] = []
+        for rule in self.rules:
+            template = self._templates.get(rule.template_name)
+            if template is None:
+                continue
+            verdict = rule.evaluate(target, template)
+            if verdict is not False:
+                continue  # holds, or not applicable (absent entries: ignored)
+            score = _BASE_SCORE[WarningKind.CORRELATION] + rule.confidence
+            out.append(
+                Warning(
+                    WarningKind.CORRELATION,
+                    rule.attribute_a,
+                    f"violates rule: {rule.attribute_a} {rule.relation} "
+                    f"{rule.attribute_b} ({rule.description or rule.template_name})",
+                    score,
+                    value=target.value(rule.attribute_a),
+                    evidence=(
+                        f"rule held in {rule.valid_count}/{rule.support} "
+                        f"training systems (conf={rule.confidence:.2f})"
+                    ),
+                    rule=rule,
+                )
+            )
+        return out
+
+    # -- check 3: data types ------------------------------------------------------------
+
+    def check_types(self, target: AssembledSystem) -> List[Warning]:
+        """Verify target values against the types learned in training."""
+        out: List[Warning] = []
+        for attribute in target.attributes():
+            stats = self.dataset.stats(attribute)
+            if stats is None or stats.type.is_trivial:
+                continue
+            # Only enforce types the training data agrees on; ambiguous
+            # columns (0/1 Boolean-vs-Number and friends, Table 11) would
+            # otherwise flood the report with false type violations.
+            if stats.type_agreement < 0.9:
+                continue
+            typed = target.get(attribute)
+            assert typed is not None
+            # In no-environment mode (the plain baseline) semantic
+            # verification has no system to consult.
+            context = target.image if target.environment_available else None
+            if self.inferencer.verify(typed.value, stats.type, context):
+                continue
+            # Violations of a perfectly-stable column (cardinality 1 in
+            # training) are ranked "much higher" (§6 example: the
+            # extension_dir.type regular-file case).
+            cardinality_boost = 1.0 if stats.cardinality == 1 else (
+                0.5 if stats.cardinality <= 3 else 0.0
+            )
+            score = _BASE_SCORE[WarningKind.DATA_TYPE] + cardinality_boost
+            out.append(
+                Warning(
+                    WarningKind.DATA_TYPE, attribute,
+                    f"value {typed.value!r} fails verification as "
+                    f"{stats.type.value}",
+                    score,
+                    value=typed.value,
+                    evidence=(
+                        f"training type {stats.type.value}, "
+                        f"{stats.cardinality} distinct training value(s)"
+                    ),
+                )
+            )
+        return out
+
+    # -- check 4: suspicious values -------------------------------------------------------
+
+    def check_suspicious_values(self, target: AssembledSystem) -> List[Warning]:
+        """Unseen values, ranked by Inverse Change Frequency (§6 check 4)."""
+        out: List[Warning] = []
+        for attribute in target.attributes():
+            stats = self.dataset.stats(attribute)
+            if stats is None:
+                continue  # unknown attributes are check 1's business
+            typed = target.get(attribute)
+            assert typed is not None
+            if stats.seen(typed.value):
+                continue
+            # Free-varying columns (paths, host names, digests) take a new
+            # value on many systems; an unseen value there carries no
+            # signal, so skip rather than pollute the report.
+            if stats.is_free_varying():
+                continue
+            # Otherwise ICF keeps the stable columns on top.  A deviation
+            # from a cardinality-1 column is ranked "much higher" (§6) —
+            # comparable to a hard type violation — because the training
+            # set never once disagreed about this value.
+            icf = stats.inverse_change_frequency()
+            score = _BASE_SCORE[WarningKind.SUSPICIOUS_VALUE] + icf
+            if stats.cardinality == 1:
+                score += 2.2
+            out.append(
+                Warning(
+                    WarningKind.SUSPICIOUS_VALUE, attribute,
+                    f"value {typed.value!r} never seen in training",
+                    score,
+                    value=typed.value,
+                    evidence=(
+                        f"{stats.cardinality} distinct training value(s), "
+                        f"ICF={icf:.3f}"
+                    ),
+                )
+            )
+        return out

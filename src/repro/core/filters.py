@@ -1,0 +1,121 @@
+"""Rule filtering (paper §5.2).
+
+Three metrics prune false rules from the raw candidate set:
+
+* **support** — how often the involved attributes co-occur in the data
+  set (threshold: a fraction of the training set size; the paper uses 10%
+  of the number of images);
+* **confidence** — the percentage of applicable systems in which the rule
+  is valid (paper threshold: 90%);
+* **entropy** — attribute value diversity; attributes whose values almost
+  never change are "not interesting, and the rules involving [them] are
+  likely to be noise" (threshold Ht = 0.325, the entropy of a 90/10
+  two-value split).
+
+Per §7.3 entropy is applied to value-comparison rule kinds (numeric/size
+ordering, equality, boolean association), where stable template-image
+defaults create spurious orderings; environment-validated templates
+(ownership, accessibility, path concatenation, group membership) are
+exempt, since their attributes (e.g. ``user = mysql`` everywhere) are
+legitimately stable.  Templates declare this via ``entropy_filtered``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.core.rules import ConcreteRule
+from repro.core.templates import RuleTemplate
+from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+
+
+class FilterDecision(str, Enum):
+    """Outcome of filtering one candidate rule."""
+
+    KEPT = "kept"
+    LOW_SUPPORT = "low_support"
+    LOW_CONFIDENCE = "low_confidence"
+    LOW_ENTROPY = "low_entropy"
+
+
+@dataclass
+class FilterStats:
+    """Aggregate accounting across one inference run (Table 13 inputs)."""
+
+    candidates: int = 0
+    kept: int = 0
+    dropped_support: int = 0
+    dropped_confidence: int = 0
+    dropped_entropy: int = 0
+    #: Rules that passed support+confidence but fell to the entropy filter
+    #: — the population Table 13 reports on.
+    entropy_filtered_rules: List[ConcreteRule] = field(default_factory=list)
+
+    def record(self, decision: FilterDecision, rule: ConcreteRule) -> None:
+        self.candidates += 1
+        if decision is FilterDecision.KEPT:
+            self.kept += 1
+        elif decision is FilterDecision.LOW_SUPPORT:
+            self.dropped_support += 1
+        elif decision is FilterDecision.LOW_CONFIDENCE:
+            self.dropped_confidence += 1
+        elif decision is FilterDecision.LOW_ENTROPY:
+            self.dropped_entropy += 1
+            self.entropy_filtered_rules.append(rule)
+
+
+class RuleFilterPipeline:
+    """support → confidence → entropy, in the paper's order.
+
+    ``min_support_fraction`` is relative to the number of training images;
+    ``use_entropy=False`` disables the third filter (the Table 13
+    ablation).
+    """
+
+    def __init__(
+        self,
+        training_size: int,
+        min_support_fraction: float = 0.10,
+        min_confidence: float = 0.90,
+        entropy_threshold: float = DEFAULT_ENTROPY_THRESHOLD,
+        use_entropy: bool = True,
+    ) -> None:
+        if training_size < 1:
+            raise ValueError("training_size must be >= 1")
+        if not 0 <= min_support_fraction <= 1:
+            raise ValueError("min_support_fraction must be in [0,1]")
+        if not 0 <= min_confidence <= 1:
+            raise ValueError("min_confidence must be in [0,1]")
+        self.training_size = training_size
+        self.min_support = max(1, int(round(min_support_fraction * training_size)))
+        self.min_confidence = min_confidence
+        self.entropy_threshold = entropy_threshold
+        self.use_entropy = use_entropy
+        self.stats = FilterStats()
+
+    def decide(self, rule: ConcreteRule, template: RuleTemplate) -> FilterDecision:
+        """Classify one candidate; also records it in :attr:`stats`."""
+        decision = self._classify(rule, template)
+        self.stats.record(decision, rule)
+        return decision
+
+    def _classify(self, rule: ConcreteRule, template: RuleTemplate) -> FilterDecision:
+        if rule.support < self.min_support:
+            return FilterDecision.LOW_SUPPORT
+        if rule.confidence < self.min_confidence:
+            return FilterDecision.LOW_CONFIDENCE
+        if (
+            self.use_entropy
+            and template.entropy_filtered
+            and (
+                rule.entropy_a <= self.entropy_threshold
+                or rule.entropy_b <= self.entropy_threshold
+            )
+        ):
+            return FilterDecision.LOW_ENTROPY
+        return FilterDecision.KEPT
+
+    def keeps(self, rule: ConcreteRule, template: RuleTemplate) -> bool:
+        return self.decide(rule, template) is FilterDecision.KEPT

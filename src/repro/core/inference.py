@@ -1,0 +1,211 @@
+"""Template-guided rule inference (paper §5.1, Figure 5).
+
+For each template the inferencer:
+
+1. finds eligible attributes — those whose inferred column type matches
+   the template's slot types ("the type information provides an intuitive
+   and effective way of attribute selection, which is critical to solve
+   the scalability problem");
+2. iterates over every (A, B) instantiation and gathers per-system
+   verdicts from the template's validation method;
+3. computes support / confidence / entropy and runs the filter pipeline.
+
+Type-restricted instantiation is the paper's answer to the attribute
+explosion of §2.2; :meth:`RuleInferencer.candidate_pair_count` exposes the
+combinatorics for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.filters import FilterDecision, RuleFilterPipeline
+from repro.core.rules import ConcreteRule, RuleSet
+from repro.core.templates import RuleTemplate, default_templates
+from repro.core.types import ConfigType
+from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+
+
+@dataclass
+class InferenceResult:
+    """Rules plus the filtering audit trail for one inference run."""
+
+    rules: RuleSet
+    #: All candidates that met support+confidence, pre-entropy — needed by
+    #: the Table 13 ablation without re-running inference.
+    pre_entropy_rules: RuleSet
+    decisions: Dict[Tuple[str, str, str], FilterDecision]
+    candidate_pairs: int
+
+
+class RuleInferencer:
+    """Learns concrete rules from an assembled dataset."""
+
+    def __init__(
+        self,
+        templates: Optional[Sequence[RuleTemplate]] = None,
+        min_support_fraction: float = 0.10,
+        min_confidence: float = 0.90,
+        entropy_threshold: float = DEFAULT_ENTROPY_THRESHOLD,
+        use_entropy: bool = True,
+        restrict_types: bool = True,
+    ) -> None:
+        self.templates = list(templates if templates is not None else default_templates())
+        self.min_support_fraction = min_support_fraction
+        self.min_confidence = min_confidence
+        self.entropy_threshold = entropy_threshold
+        self.use_entropy = use_entropy
+        #: ``False`` disables type-based slot restriction (ablation of the
+        #: paper's scalability mechanism): every attribute becomes eligible
+        #: for every slot.
+        self.restrict_types = restrict_types
+
+    # -- eligibility -------------------------------------------------------------
+
+    def eligible_attributes(
+        self, dataset: Dataset, slot_type: ConfigType
+    ) -> List[str]:
+        """Attributes that may fill a slot of *slot_type*.
+
+        ``String``-typed slots accept any attribute (the equality templates
+        of Table 6 apply to "another entry of same type" — the same-type
+        constraint is enforced pairwise in :meth:`_pairs`).
+        """
+        if not self.restrict_types:
+            return dataset.attributes()
+        if slot_type is ConfigType.STRING:
+            return dataset.attributes()
+        return dataset.attributes_of_type(slot_type)
+
+    def _pairs(
+        self, dataset: Dataset, template: RuleTemplate
+    ) -> Iterable[Tuple[str, str]]:
+        left = self.eligible_attributes(dataset, template.type_a)
+        right = self.eligible_attributes(dataset, template.type_b)
+        same_type_required = (
+            template.type_a is ConfigType.STRING
+            and template.type_b is ConfigType.STRING
+        )
+        for a in left:
+            for b in right:
+                if a == b:
+                    continue
+                if template.symmetric and a > b:
+                    continue
+                if same_type_required and self.restrict_types:
+                    type_a, type_b = dataset.type_of(a), dataset.type_of(b)
+                    if type_a is not type_b or type_a is None or type_a.is_trivial:
+                        continue
+                if not template.allow_augmented and (
+                    dataset.is_augmented(a) or dataset.is_augmented(b)
+                ):
+                    continue
+                if template.slot_b_augmented_only and not (
+                    dataset.is_augmented(b) and not dataset.is_augmented(a)
+                ):
+                    continue
+                if template.multiplicity == "multi" and not (
+                    dataset.is_multi_valued(a) or dataset.is_multi_valued(b)
+                ):
+                    continue
+                if template.multiplicity == "single" and (
+                    dataset.is_multi_valued(a) or dataset.is_multi_valued(b)
+                ):
+                    continue
+                yield a, b
+
+    def candidate_pair_count(self, dataset: Dataset) -> int:
+        """Total (template, A, B) instantiations the run will consider."""
+        return sum(
+            sum(1 for _ in self._pairs(dataset, template))
+            for template in self.templates
+        )
+
+    # -- inference ---------------------------------------------------------------
+
+    def infer(self, dataset: Dataset) -> InferenceResult:
+        """Run the full Figure 5 workflow over *dataset*."""
+        pipeline = RuleFilterPipeline(
+            training_size=len(dataset),
+            min_support_fraction=self.min_support_fraction,
+            min_confidence=self.min_confidence,
+            entropy_threshold=self.entropy_threshold,
+            use_entropy=self.use_entropy,
+        )
+        kept = RuleSet()
+        pre_entropy = RuleSet()
+        decisions: Dict[Tuple[str, str, str], FilterDecision] = {}
+        pair_count = 0
+        for template in self.templates:
+            for attr_a, attr_b in self._pairs(dataset, template):
+                pair_count += 1
+                rule = self._evaluate_pair(dataset, template, attr_a, attr_b)
+                if rule is None:
+                    continue
+                decision = pipeline.decide(rule, template)
+                decisions[rule.key] = decision
+                if decision in (FilterDecision.KEPT, FilterDecision.LOW_ENTROPY):
+                    pre_entropy.add(rule)
+                if decision is FilterDecision.KEPT:
+                    kept.add(rule)
+        return InferenceResult(
+            rules=kept,
+            pre_entropy_rules=pre_entropy,
+            decisions=decisions,
+            candidate_pairs=pair_count,
+        )
+
+    def _evaluate_pair(
+        self,
+        dataset: Dataset,
+        template: RuleTemplate,
+        attr_a: str,
+        attr_b: str,
+    ) -> Optional[ConcreteRule]:
+        """Gather verdicts for one instantiation across all systems."""
+        applicable = 0
+        valid = 0
+        for system in dataset:
+            values_a = system.values_of(attr_a)
+            values_b = system.values_of(attr_b)
+            if not values_a or not values_b:
+                continue
+            verdict = self._system_verdict(template, values_a, values_b, system)
+            if verdict is None:
+                continue
+            applicable += 1
+            if verdict:
+                valid += 1
+        if applicable == 0:
+            return None
+        stats_a = dataset.stats(attr_a)
+        stats_b = dataset.stats(attr_b)
+        return ConcreteRule(
+            template_name=template.name,
+            attribute_a=attr_a,
+            attribute_b=attr_b,
+            relation=template.relation.value,
+            support=applicable,
+            valid_count=valid,
+            entropy_a=stats_a.entropy if stats_a else 0.0,
+            entropy_b=stats_b.entropy if stats_b else 0.0,
+            description=template.description,
+        )
+
+    @staticmethod
+    def _system_verdict(template, values_a, values_b, system) -> Optional[bool]:
+        """Any-occurrence semantics: the rule holds in a system when some
+        occurrence pair validates; it is violated when at least one pair
+        was applicable and none validated."""
+        applicable = False
+        for a in values_a:
+            for b in values_b:
+                verdict = template.validate(a, b, system)
+                if verdict is None:
+                    continue
+                applicable = True
+                if verdict:
+                    return True
+        return False if applicable else None

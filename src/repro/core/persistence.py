@@ -1,0 +1,146 @@
+"""Full trained-model persistence.
+
+"Since the checking and the learning are cleanly separated, the learned
+rules can be reused to check different systems" (§3).  Rule files alone
+are not enough for the full detector, which also consumes the training
+set's per-attribute statistics (types, value counts, entropy) and the
+entry-name universe.  :class:`ModelSnapshot` captures exactly that
+surface — everything :class:`~repro.core.detector.AnomalyDetector` reads
+from a dataset — so a model trained once can be shipped and used to
+check systems anywhere, without the training corpus.
+
+Limitations: customization (user-defined types/templates) is code and is
+not serialised; a snapshot checked under a customized EnCore instance
+must be re-created with the same customization applied.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.dataset import AttributeStats
+from repro.core.pipeline import TrainedModel
+from repro.core.rules import RuleSet
+from repro.core.types import ConfigType
+
+SNAPSHOT_VERSION = 1
+
+
+class DatasetSummary:
+    """The dataset surface the anomaly detector consumes.
+
+    Quacks like :class:`~repro.core.dataset.Dataset` for the read methods
+    the detector uses (``stats``, ``entry_names``, ``is_augmented``,
+    ``attributes``, ``type_of``), without carrying the assembled rows.
+    """
+
+    def __init__(
+        self,
+        training_size: int,
+        stats: Dict[str, AttributeStats],
+        entry_names: Dict[str, List[str]],
+        augmented: set,
+    ) -> None:
+        self.training_size = training_size
+        self._stats = dict(stats)
+        self._entry_names = {app: list(names) for app, names in entry_names.items()}
+        self._augmented = set(augmented)
+
+    def __len__(self) -> int:
+        return self.training_size
+
+    def stats(self, attribute: str) -> Optional[AttributeStats]:
+        return self._stats.get(attribute)
+
+    def attributes(self) -> List[str]:
+        return sorted(self._stats)
+
+    def type_of(self, attribute: str) -> Optional[ConfigType]:
+        stats = self._stats.get(attribute)
+        return stats.type if stats is not None else None
+
+    def entry_names(self) -> Dict[str, List[str]]:
+        return {app: list(names) for app, names in self._entry_names.items()}
+
+    def is_augmented(self, attribute: str) -> bool:
+        return attribute in self._augmented or attribute.startswith("env:")
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "DatasetSummary":
+        """Summarise a full :class:`Dataset`."""
+        stats = {a: dataset.stats(a) for a in dataset.attributes()}
+        augmented = {a for a in dataset.attributes() if dataset.is_augmented(a)}
+        return cls(len(dataset), stats, dataset.entry_names(), augmented)
+
+
+def _stats_to_dict(stats: AttributeStats) -> Dict[str, object]:
+    return {
+        "attribute": stats.attribute,
+        "type": stats.type.value,
+        "present_count": stats.present_count,
+        "value_counts": [[v, n] for v, n in stats.value_counts],
+        "entropy": stats.entropy,
+        "type_agreement": stats.type_agreement,
+    }
+
+
+def _stats_from_dict(data: Dict[str, object]) -> AttributeStats:
+    return AttributeStats(
+        attribute=str(data["attribute"]),
+        type=ConfigType(data["type"]),
+        present_count=int(data["present_count"]),
+        value_counts=tuple((v, int(n)) for v, n in data["value_counts"]),
+        entropy=float(data["entropy"]),
+        type_agreement=float(data.get("type_agreement", 1.0)),
+    )
+
+
+def model_to_dict(model: TrainedModel) -> Dict[str, object]:
+    """Serialise the detector-facing surface of a trained model."""
+    dataset = model.dataset
+    return {
+        "version": SNAPSHOT_VERSION,
+        "training_size": len(dataset),
+        "stats": [
+            _stats_to_dict(dataset.stats(attr)) for attr in dataset.attributes()
+        ],
+        "entry_names": dataset.entry_names(),
+        "augmented": sorted(
+            a for a in dataset.attributes() if dataset.is_augmented(a)
+        ),
+        "rules": [rule.to_dict() for rule in model.rules],
+    }
+
+
+def summary_from_dict(data: Dict[str, object]) -> tuple:
+    """(DatasetSummary, RuleSet) from :func:`model_to_dict` output."""
+    version = data.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported model snapshot version: {version}")
+    stats = {
+        entry["attribute"]: _stats_from_dict(entry) for entry in data["stats"]
+    }
+    summary = DatasetSummary(
+        training_size=int(data["training_size"]),
+        stats=stats,
+        entry_names=data["entry_names"],
+        augmented=set(data["augmented"]),
+    )
+    from repro.core.rules import ConcreteRule
+
+    rules = RuleSet(ConcreteRule.from_dict(r) for r in data["rules"])
+    return summary, rules
+
+
+def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
+    """Write a model snapshot as JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(model_to_dict(model)))
+    return out
+
+
+def load_model_snapshot(path: Union[str, Path]) -> tuple:
+    """(DatasetSummary, RuleSet) from a saved snapshot file."""
+    return summary_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,243 @@
+"""The :class:`EnCore` facade: train on a corpus, check target systems.
+
+Ties the Figure 2 pipeline together.  A trained model bundles the
+assembled dataset statistics, the inferred rule set, and the type
+information; it serialises to JSON so checking can happen long after (and
+far away from) learning — "since the checking and the learning are
+cleanly separated, the learned rules can be reused to check different
+systems" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.core.assembler import DataAssembler
+from repro.core.augment import Augmenter
+from repro.core.customization import Customization, parse_customization
+from repro.core.dataset import Dataset
+from repro.core.detector import AnomalyDetector
+from repro.core.inference import InferenceResult, RuleInferencer
+from repro.core.report import Report
+from repro.core.rules import RuleSet
+from repro.core.templates import RuleTemplate, default_templates
+from repro.core.types import TypeRegistry, default_type_registry
+from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+from repro.parsers.registry import ParserRegistry, default_registry
+from repro.sysmodel.image import SystemImage
+
+
+@dataclass
+class EnCoreConfig:
+    """Tunable knobs, defaulting to the paper's evaluation settings (§7.3).
+
+    ``customization_text`` is the optional Figure 6 file content; when
+    given, its types, augmented attributes and templates are merged in
+    before training.
+    """
+
+    min_support_fraction: float = 0.10
+    min_confidence: float = 0.90
+    entropy_threshold: float = DEFAULT_ENTROPY_THRESHOLD
+    use_entropy_filter: bool = True
+    restrict_types: bool = True
+    augment_environment: bool = True
+    customization_text: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_support_fraction <= 1:
+            raise ValueError("min_support_fraction must be in [0,1]")
+        if not 0 <= self.min_confidence <= 1:
+            raise ValueError("min_confidence must be in [0,1]")
+
+
+@dataclass
+class TrainedModel:
+    """Everything learned from a training set."""
+
+    dataset: Dataset
+    rules: RuleSet
+    inference: InferenceResult
+    templates: Sequence[RuleTemplate]
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def summary(self) -> dict:
+        """Compact training summary (used by benches and examples)."""
+        return {
+            "training_systems": len(self.dataset),
+            "attributes": len(self.dataset.attributes()),
+            "rules": len(self.rules),
+            "candidate_pairs": self.inference.candidate_pairs,
+        }
+
+
+class EnCore:
+    """The misconfiguration detection tool (paper Figure 2).
+
+    Typical usage::
+
+        encore = EnCore()
+        model = encore.train(training_images)
+        report = encore.check(target_image)
+        print(report.render())
+    """
+
+    def __init__(self, config: Optional[EnCoreConfig] = None) -> None:
+        self.config = config if config is not None else EnCoreConfig()
+        self._parsers: ParserRegistry = default_registry()
+        self._type_registry: TypeRegistry = default_type_registry()
+        self._augmenter = Augmenter()
+        self._templates: List[RuleTemplate] = list(default_templates())
+        self._customization: Optional[Customization] = None
+        if self.config.customization_text:
+            self.customize(self.config.customization_text)
+        self._rebuild_assembler()
+        self.model: Optional[TrainedModel] = None
+        self._detector: Optional[AnomalyDetector] = None
+
+    def _rebuild_assembler(self) -> None:
+        self.assembler = DataAssembler(
+            parsers=self._parsers,
+            type_registry=self._type_registry,
+            augmenter=self._augmenter,
+            augment_environment=self.config.augment_environment,
+        )
+
+    # -- customization -------------------------------------------------------------
+
+    def customize(self, customization_text: str) -> Customization:
+        """Apply a Figure 6 customization file (before training)."""
+        custom = parse_customization(customization_text)
+        custom.apply_to_type_registry(self._type_registry)
+        custom.apply_to_augmenter(self._augmenter)
+        self._templates.extend(custom.build_templates())
+        self._customization = custom
+        self._rebuild_assembler()
+        return custom
+
+    def register_template(self, template: RuleTemplate) -> None:
+        """Add a programmatic custom template (the non-file route)."""
+        self._templates.append(template)
+
+    @property
+    def templates(self) -> List[RuleTemplate]:
+        return list(self._templates)
+
+    # -- training --------------------------------------------------------------------
+
+    def train(self, images: Iterable[SystemImage]) -> TrainedModel:
+        """Assemble the corpus and infer rules (Figure 5 workflow)."""
+        dataset = self.assembler.assemble_corpus(images)
+        return self.train_on_dataset(dataset)
+
+    def train_on_dataset(self, dataset: Dataset) -> TrainedModel:
+        """Infer rules over an already-assembled dataset."""
+        if len(dataset) == 0:
+            raise ValueError("training set is empty")
+        inferencer = RuleInferencer(
+            templates=self._templates,
+            min_support_fraction=self.config.min_support_fraction,
+            min_confidence=self.config.min_confidence,
+            entropy_threshold=self.config.entropy_threshold,
+            use_entropy=self.config.use_entropy_filter,
+            restrict_types=self.config.restrict_types,
+        )
+        result = inferencer.infer(dataset)
+        self.model = TrainedModel(
+            dataset=dataset,
+            rules=result.rules,
+            inference=result,
+            templates=self._templates,
+        )
+        self._detector = AnomalyDetector(
+            dataset, result.rules,
+            inferencer=self.assembler.inferencer,
+            templates=self._templates,
+        )
+        return self.model
+
+    # -- checking ---------------------------------------------------------------------
+
+    def check(self, image: SystemImage) -> Report:
+        """Run the anomaly detector against one target system."""
+        if self.model is None or self._detector is None:
+            raise RuntimeError("EnCore.check() requires a trained model; call train() first")
+        target = self.assembler.assemble(image)
+        warnings = self._detector.detect(target)
+        return Report(image.image_id, warnings)
+
+    def check_many(self, images: Iterable[SystemImage]) -> List[Report]:
+        return [self.check(image) for image in images]
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save_model(self, path: Union[str, Path]) -> Path:
+        """Persist the full detector-facing model (stats + rules).
+
+        Unlike :meth:`save_rules`, the resulting snapshot is enough to
+        check systems with :meth:`load_model` — no training corpus needed
+        on the checking side.
+        """
+        if self.model is None:
+            raise RuntimeError("no trained model to save")
+        from repro.core.persistence import save_model
+
+        return save_model(self.model, path)
+
+    def load_model(self, path: Union[str, Path]) -> None:
+        """Restore a model snapshot saved with :meth:`save_model`.
+
+        After this call :meth:`check` works without :meth:`train`.  The
+        instance's current parser/type/template configuration applies to
+        target assembly, so customized deployments must re-apply the same
+        customization before loading.
+        """
+        from repro.core.persistence import load_model_snapshot
+
+        summary, rules = load_model_snapshot(path)
+        self.model = TrainedModel(
+            dataset=summary,  # duck-typed: the detector-facing surface
+            rules=rules,
+            inference=InferenceResult(
+                rules=rules, pre_entropy_rules=rules, decisions={},
+                candidate_pairs=0,
+            ),
+            templates=self._templates,
+        )
+        self._detector = AnomalyDetector(
+            summary, rules,
+            inferencer=self.assembler.inferencer,
+            templates=self._templates,
+        )
+
+    def save_rules(self, path: Union[str, Path]) -> Path:
+        """Persist the learned rules for reuse on other systems."""
+        if self.model is None:
+            raise RuntimeError("no trained model to save")
+        return self.model.rules.save(path)
+
+    def load_rules(self, path: Union[str, Path]) -> RuleSet:
+        """Load a previously-saved rule set into the current model.
+
+        Requires a trained model (for the attribute statistics the
+        detector consumes); only the rules are replaced.
+        """
+        rules = RuleSet.load(path)
+        if self.model is not None:
+            self.model = TrainedModel(
+                dataset=self.model.dataset,
+                rules=rules,
+                inference=self.model.inference,
+                templates=self._templates,
+            )
+            self._detector = AnomalyDetector(
+                self.model.dataset, rules,
+                inferencer=self.assembler.inferencer,
+                templates=self._templates,
+            )
+        return rules

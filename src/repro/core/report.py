@@ -1,0 +1,108 @@
+"""Detection reports: the user-facing output of a check run.
+
+Wraps the ranked warning list with convenience queries used throughout the
+evaluation harness (rank-of-attribute, counts per kind, text rendering à
+la the paper's "Rank 1(5)" notation in Table 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.detector import Warning, WarningKind
+
+
+@dataclass
+class Report:
+    """Ranked detection results for one target system."""
+
+    image_id: str
+    warnings: List[Warning]
+
+    def __len__(self) -> int:
+        return len(self.warnings)
+
+    def __iter__(self):
+        return iter(self.warnings)
+
+    def counts_by_kind(self) -> Dict[WarningKind, int]:
+        out: Dict[WarningKind, int] = {}
+        for warning in self.warnings:
+            out[warning.kind] = out.get(warning.kind, 0) + 1
+        return out
+
+    def rank_of_attribute(
+        self, attribute: str, kind: Optional[WarningKind] = None
+    ) -> Optional[int]:
+        """1-based rank of the first warning on *attribute* (None = missed).
+
+        Matching is substring-tolerant on the attribute tail so evaluation
+        scenarios can name entries without app prefixes.
+        """
+        def matches(candidate: str) -> bool:
+            tail = candidate.split(":", 1)[-1]
+            return (
+                candidate == attribute
+                or candidate.endswith(":" + attribute)
+                or tail == attribute
+                # augmented columns of the named entry count as hits
+                or candidate.startswith(attribute + ".")
+                or tail.startswith(attribute + ".")
+            )
+
+        for rank, warning in enumerate(self.warnings, start=1):
+            if kind is not None and warning.kind is not kind:
+                continue
+            if matches(warning.attribute):
+                return rank
+            # Correlation warnings implicate both rule sides.
+            if warning.rule is not None and (
+                matches(warning.rule.attribute_a) or matches(warning.rule.attribute_b)
+            ):
+                return rank
+        return None
+
+    def detects(self, attribute: str) -> bool:
+        return self.rank_of_attribute(attribute) is not None
+
+    def paper_rank_notation(self, attribute: str) -> str:
+        """The Table 9 "rank(total)" notation, ``-`` when missed."""
+        rank = self.rank_of_attribute(attribute)
+        if rank is None:
+            return "-"
+        return f"{rank}({len(self.warnings)})"
+
+    def top(self, n: int = 10) -> List[Warning]:
+        return self.warnings[:n]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the CLI's ``--json`` mode)."""
+        return {
+            "image_id": self.image_id,
+            "warning_count": len(self.warnings),
+            "warnings": [
+                {
+                    "rank": rank,
+                    "kind": warning.kind.value,
+                    "attribute": warning.attribute,
+                    "message": warning.message,
+                    "score": round(warning.score, 4),
+                    "value": warning.value,
+                    "evidence": warning.evidence,
+                    "rule": warning.rule.to_dict() if warning.rule else None,
+                }
+                for rank, warning in enumerate(self.warnings, start=1)
+            ],
+        }
+
+    def render(self, limit: int = 20) -> str:
+        """Plain-text report (what the CLI of the tool would print)."""
+        lines = [f"EnCore report for {self.image_id}: {len(self.warnings)} warning(s)"]
+        for rank, warning in enumerate(self.warnings[:limit], start=1):
+            lines.append(f"  {rank:>3}. {warning}")
+            if warning.evidence:
+                lines.append(f"       evidence: {warning.evidence}")
+        if len(self.warnings) > limit:
+            lines.append(f"  ... {len(self.warnings) - limit} more")
+        return "\n".join(lines)

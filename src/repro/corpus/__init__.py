@@ -1,0 +1,43 @@
+"""Synthetic corpora standing in for the paper's crawled images.
+
+The paper trains on public Amazon EC2 images (127 Apache / 187 MySQL /
+123 PHP) and additionally checks 300 images from a commercial private
+cloud.  We cannot crawl EC2, so this package generates deterministic
+corpora with the statistical structure the learning pipeline depends on:
+
+* a **catalog** (:mod:`~repro.corpus.catalog`) of real configuration
+  entries for Apache, MySQL, PHP and sshd with ground-truth semantic
+  types and the env-related/correlated annotations of Table 1;
+* an **EC2-like generator** (:mod:`~repro.corpus.generator`) producing
+  coherent :class:`~repro.sysmodel.image.SystemImage` objects — template-
+  image bias (mostly defaults), per-image path/user variation, and a
+  consistent environment (data directories owned by the right user, the
+  extension dir actually a directory, ...);
+* a **private-cloud generator** (:mod:`~repro.corpus.private_cloud`)
+  with production-style customisation and a lower latent-problem rate;
+* the ten **real-world cases** of Table 9
+  (:mod:`~repro.corpus.realworld`), reconstructed as scenarios applying
+  the documented misconfiguration to a clean image.
+"""
+
+from repro.corpus.catalog import (
+    CatalogEntry,
+    app_catalog,
+    catalog_summary,
+    full_catalog,
+)
+from repro.corpus.generator import Ec2CorpusGenerator, GenerationProfile
+from repro.corpus.private_cloud import PrivateCloudGenerator
+from repro.corpus.realworld import RealWorldCase, real_world_cases
+
+__all__ = [
+    "CatalogEntry",
+    "Ec2CorpusGenerator",
+    "GenerationProfile",
+    "PrivateCloudGenerator",
+    "RealWorldCase",
+    "app_catalog",
+    "catalog_summary",
+    "full_catalog",
+    "real_world_cases",
+]

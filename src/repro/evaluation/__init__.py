@@ -1,0 +1,53 @@
+"""Experiment harnesses reproducing the paper's evaluation (Section 7).
+
+One module per experiment family; the ``benchmarks/`` tree calls these at
+paper scale and prints the corresponding table, while the test suite runs
+them at reduced scale to validate shape.
+
+=============================  =======================================
+Module                         Paper content
+=============================  =======================================
+``catalog_study``              Table 1 — entry study counts
+``attribute_growth``           Table 2 — original/augmented/binomial
+``mining_scalability``         Table 3 — FP-Growth time & itemset size
+``injection``                  Table 8 — injected-error detection
+``realworld``                  Table 9 — real-world cases
+``wild``                       Table 10 — new misconfigurations found
+``type_accuracy``              Table 11 — type inference accuracy
+``rules_experiment``           Table 12 — inferred rules + FPs
+``entropy_ablation``           Table 13 — entropy filter effectiveness
+=============================  =======================================
+"""
+
+from repro.evaluation.matching import error_detected, warning_matches_attribute
+from repro.evaluation.catalog_study import table1_rows
+from repro.evaluation.attribute_growth import table2_rows
+from repro.evaluation.mining_scalability import MiningScalabilityResult, table3_rows
+from repro.evaluation.injection import InjectionExperimentResult, run_injection_experiment
+from repro.evaluation.realworld import RealWorldResult, run_real_world_experiment
+from repro.evaluation.wild import WildResult, run_wild_experiment
+from repro.evaluation.type_accuracy import TypeAccuracyResult, run_type_accuracy
+from repro.evaluation.rules_experiment import RulesResult, is_expected_rule, run_rules_experiment
+from repro.evaluation.entropy_ablation import EntropyAblationResult, run_entropy_ablation
+
+__all__ = [
+    "EntropyAblationResult",
+    "InjectionExperimentResult",
+    "MiningScalabilityResult",
+    "RealWorldResult",
+    "RulesResult",
+    "TypeAccuracyResult",
+    "WildResult",
+    "error_detected",
+    "is_expected_rule",
+    "run_entropy_ablation",
+    "run_injection_experiment",
+    "run_real_world_experiment",
+    "run_rules_experiment",
+    "run_type_accuracy",
+    "run_wild_experiment",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "warning_matches_attribute",
+]

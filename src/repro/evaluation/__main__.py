@@ -1,0 +1,8 @@
+"""``python -m repro.evaluation`` entry point."""
+
+import sys
+
+from repro.evaluation.summary import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Matching detector warnings to ground-truth errors.
+
+The injection and wild experiments need to decide whether a report
+"covers" a known error.  A warning covers an error when its attribute
+names the mutated entry — directly, through an augmented column of it, or
+through a correlation rule whose either side is the entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.detector import Warning
+from repro.core.report import Report
+from repro.injection.conferr import InjectedError, InjectionKind
+
+
+def _normalise(name: str) -> str:
+    """Normalise an entry token the way the parsers canonicalise names."""
+    return name.strip().replace("-", "_").lower()
+
+
+def _attribute_tokens(attribute: str) -> List[str]:
+    """Name fragments of a warning attribute, outermost first.
+
+    ``mysql:mysqld/datadir.owner`` yields ``["mysqld/datadir.owner",
+    "mysqld/datadir", "datadir"]`` so errors referencing either the raw
+    or canonical name match.
+    """
+    _, _, name = attribute.partition(":")
+    tokens = [name]
+    base = name.split(".", 1)[0]
+    if base != name:
+        tokens.append(base)
+    if "/" in base:
+        tokens.append(base.rsplit("/", 1)[-1])
+    return tokens
+
+
+def warning_matches_attribute(warning: Warning, app: str, entry_name: str) -> bool:
+    """Does *warning* point at *entry_name* of *app*?
+
+    ``entry_name`` may be a raw config-file name (``datadir``) or a
+    canonical one (``mysqld/datadir``); matching is tolerant of the
+    section prefix and augmented suffixes.  Correlation warnings match
+    through either rule side.
+    """
+    target = _normalise(entry_name)
+
+    def attr_matches(attribute: str) -> bool:
+        if not attribute.startswith(app + ":"):
+            return False
+        return any(_normalise(token) == target for token in _attribute_tokens(attribute))
+
+    if attr_matches(warning.attribute):
+        return True
+    if warning.rule is not None:
+        return attr_matches(warning.rule.attribute_a) or attr_matches(
+            warning.rule.attribute_b
+        )
+    return False
+
+
+def error_detected(report: Report, error: InjectedError, top_n: Optional[int] = None) -> bool:
+    """Did *report* flag *error*?
+
+    For name typos the detector reports the *misspelled* name (the entry
+    as it appears in the broken file), so both the original and the
+    mutated spelling are accepted.  ``top_n`` restricts matching to the
+    highest-ranked warnings (None = whole report).
+    """
+    candidates = [error.entry_name]
+    if error.kind is InjectionKind.TYPO_NAME and error.mutated_line:
+        mutated_name = error.mutated_line.strip()
+        for separator in ("=", " ", "\t"):
+            if separator in mutated_name:
+                mutated_name = mutated_name.split(separator, 1)[0]
+                break
+        candidates.append(mutated_name.strip())
+    pool: Iterable[Warning] = (
+        report.warnings if top_n is None else report.warnings[:top_n]
+    )
+    for warning in pool:
+        for name in candidates:
+            if name and warning_matches_attribute(warning, error.app, name):
+                return True
+    return False

@@ -1,0 +1,114 @@
+"""One-shot evaluation runner: ``python -m repro.evaluation``.
+
+Regenerates every paper table at a configurable scale and prints the
+paper-vs-measured renderings in order — a convenience wrapper over the
+same harnesses the benchmarks use, for quick inspection without
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.evaluation.attribute_growth import render_table2, table2_rows
+from repro.evaluation.catalog_study import render_table1, table1_rows
+from repro.evaluation.entropy_ablation import render_table13, run_entropy_ablation
+from repro.evaluation.injection import render_table8, run_injection_experiment
+from repro.evaluation.mining_scalability import render_table3, table3_rows
+from repro.evaluation.realworld import render_table9, run_real_world_experiment
+from repro.evaluation.rules_experiment import render_table12, run_rules_experiment
+from repro.evaluation.type_accuracy import render_table11, run_type_accuracy
+from repro.evaluation.wild import render_table10, run_wild_experiment
+
+APPS = ("apache", "mysql", "php")
+
+
+def _section(title: str, body: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
+
+
+def run_all(training_images: int = 60, wild_images: int = 60,
+            mining: bool = True) -> None:
+    """Print every table; *training_images* trades fidelity for speed."""
+    start = time.time()
+
+    _section("Table 1 — configuration parameter study", render_table1(table1_rows()))
+    _section(
+        "Table 2 — attribute growth",
+        render_table2(table2_rows(images_per_app=min(40, training_images))),
+    )
+    if mining:
+        _section(
+            "Table 3 — FP-Growth scalability (mysql)",
+            render_table3(table3_rows(app="mysql", images=25)),
+        )
+    _section(
+        "Table 8 — injected misconfiguration detection",
+        render_table8(
+            [run_injection_experiment(app, training_images=training_images)
+             for app in APPS]
+        ),
+    )
+    _section(
+        "Table 9 — real-world misconfigurations",
+        render_table9(run_real_world_experiment(training_images=training_images)),
+    )
+    _section(
+        "Table 10 — new misconfigurations in the wild",
+        render_table10(
+            [
+                run_wild_experiment("ec2", training_images=training_images,
+                                    wild_images=wild_images),
+                run_wild_experiment("private_cloud",
+                                    training_images=training_images,
+                                    wild_images=wild_images),
+            ]
+        ),
+    )
+    _section(
+        "Table 11 — type inference accuracy",
+        render_table11(
+            [run_type_accuracy(app, training_images=training_images)
+             for app in APPS]
+        ),
+    )
+    _section(
+        "Table 12 — correlation rules",
+        render_table12(
+            [run_rules_experiment(app, training_images=training_images)
+             for app in APPS]
+        ),
+    )
+    _section(
+        "Table 13 — entropy filter effectiveness",
+        render_table13(
+            [run_entropy_ablation(app, training_images=training_images)
+             for app in APPS]
+        ),
+    )
+    print(f"\nall tables regenerated in {time.time() - start:.1f}s")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.evaluation",
+        description="regenerate every EnCore paper table",
+    )
+    parser.add_argument("--training-images", type=int, default=60)
+    parser.add_argument("--wild-images", type=int, default=60)
+    parser.add_argument("--skip-mining", action="store_true",
+                        help="skip the (slow) Table 3 sweep")
+    args = parser.parse_args(argv)
+    run_all(
+        training_images=args.training_images,
+        wild_images=args.wild_images,
+        mining=not args.skip_mining,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

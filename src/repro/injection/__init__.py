@@ -1,0 +1,17 @@
+"""ConfErr-style configuration error injection (paper §7.1.1).
+
+The paper injects 15 random errors per application with ConfErr
+(Keller et al., DSN'08) into a held-out image.  ConfErr's error classes
+are human-mistake models; we implement the ones the paper exercises,
+restricted — exactly as the paper notes — to the configuration *file*
+("the error injection of ConfErr is within the scope of configuration
+files and does not touch other system locations").
+"""
+
+from repro.injection.conferr import (
+    ConfErrInjector,
+    InjectedError,
+    InjectionKind,
+)
+
+__all__ = ["ConfErrInjector", "InjectedError", "InjectionKind"]

@@ -1,0 +1,267 @@
+"""The ConfErr-like injector.
+
+Error classes (following ConfErr's taxonomy of typographic, structural
+and semantic mistakes, applied at the config-file level):
+
+* ``TYPO_NAME``   — spelling mistake in an entry name (omission /
+  insertion / substitution / transposition of one character);
+* ``TYPO_VALUE``  — spelling mistake inside the value;
+* ``WRONG_PATH``  — a path value replaced by a plausible but wrong
+  location (dangling path, or an existing file of the wrong kind);
+* ``WRONG_TYPE``  — a value replaced with one of a different semantic
+  type (port → user name, size → boolean, ...);
+* ``ORDER_VIOLATION`` — a numeric/size value pushed across its partner's
+  bound, breaking a value-comparison invariant;
+* ``DELETE_ENTRY`` — an entry dropped entirely (omission mistake).
+
+Each injection records what changed so detection experiments can score
+per-error coverage.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sysmodel.image import SystemImage
+
+
+class InjectionKind(str, Enum):
+    TYPO_NAME = "typo_name"
+    TYPO_VALUE = "typo_value"
+    VALUE_SWAP = "value_swap"
+    WRONG_PATH = "wrong_path"
+    WRONG_TYPE = "wrong_type"
+    ORDER_VIOLATION = "order_violation"
+    DELETE_ENTRY = "delete_entry"
+
+
+@dataclass(frozen=True)
+class InjectedError:
+    """Ground truth for one injected error."""
+
+    kind: InjectionKind
+    app: str
+    entry_name: str
+    original_line: str
+    mutated_line: Optional[str]  # None for deletions
+    line_number: int
+
+    def describe(self) -> str:
+        if self.mutated_line is None:
+            return f"[{self.kind.value}] {self.app}:{self.entry_name} deleted"
+        return (
+            f"[{self.kind.value}] {self.app}:{self.entry_name}: "
+            f"{self.original_line.strip()!r} -> {self.mutated_line.strip()!r}"
+        )
+
+
+#: Lines that are structure, not entries (sections, comments, blanks).
+_NON_ENTRY = re.compile(r"^\s*($|[#;]|\[|<)")
+
+_TYPE_CONFUSIONS = ["yes", "8080", "64M", "wwwrun", "/var/nowhere", "0.0.0.0"]
+
+
+class ConfErrInjector:
+    """Injects random configuration-file errors into a system image."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def inject(
+        self,
+        image: SystemImage,
+        app: str,
+        count: int = 15,
+        kinds: Optional[Sequence[InjectionKind]] = None,
+    ) -> Tuple[SystemImage, List[InjectedError]]:
+        """Inject *count* errors into *app*'s config of a copy of *image*.
+
+        Each error mutates a distinct line.  Returns the mutated image and
+        the ground-truth records.
+        """
+        rng = random.Random(f"{self.seed}:{image.image_id}:{app}")
+        target = image.copy(image_id=f"{image.image_id}-inj-{app}")
+        config = target.config_file(app)
+        lines = config.text.splitlines()
+        mutable = [i for i, line in enumerate(lines) if not _NON_ENTRY.match(line)]
+        if count > len(mutable):
+            raise ValueError(
+                f"cannot inject {count} errors into {len(mutable)} entries"
+            )
+        # The default mix follows ConfErr's emphasis on *plausible* human
+        # mistakes — values that still look legitimate (swapped entries,
+        # scale/unit errors, wrong-but-existing paths) dominate over raw
+        # typos.  Deletions are excluded: an absent entry is invisible to
+        # every value-statistics detector (rules over absent entries are
+        # ignored, §6), so including them only measures noise.
+        default_pool = [
+            InjectionKind.TYPO_NAME,
+            InjectionKind.TYPO_VALUE, InjectionKind.TYPO_VALUE,
+            InjectionKind.VALUE_SWAP, InjectionKind.VALUE_SWAP,
+            InjectionKind.VALUE_SWAP,
+            InjectionKind.WRONG_PATH, InjectionKind.WRONG_PATH,
+            InjectionKind.WRONG_PATH,
+            InjectionKind.ORDER_VIOLATION, InjectionKind.ORDER_VIOLATION,
+            InjectionKind.ORDER_VIOLATION,
+            InjectionKind.WRONG_TYPE,
+        ]
+        pool = list(kinds) if kinds is not None else default_pool
+
+        # Kind-compatible site selection: ConfErr perturbs values in ways
+        # that fit the entry (a unit error happens to a size, a path
+        # mistake to a path), so pick the mistake first, then a line it
+        # can plausibly happen to.
+        by_class = {"path": [], "numeric": [], "other": []}
+        for i in mutable:
+            by_class[self._line_class(lines[i])].append(i)
+        donors = {
+            cls: [self._split(lines[i])[2].strip() for i in indices]
+            for cls, indices in by_class.items()
+        }
+        compatible = {
+            InjectionKind.WRONG_PATH: ("path",),
+            InjectionKind.ORDER_VIOLATION: ("numeric",),
+            InjectionKind.TYPO_NAME: ("path", "numeric", "other"),
+            InjectionKind.TYPO_VALUE: ("path", "numeric", "other"),
+            InjectionKind.VALUE_SWAP: ("path", "numeric", "other"),
+            InjectionKind.WRONG_TYPE: ("numeric", "other"),
+            InjectionKind.DELETE_ENTRY: ("path", "numeric", "other"),
+        }
+        used: set = set()
+        errors: List[InjectedError] = []
+        attempts = 0
+        while len(errors) < count and attempts < count * 20:
+            attempts += 1
+            kind = rng.choice(pool)
+            candidates = [
+                i for cls in compatible[kind] for i in by_class[cls]
+                if i not in used
+            ]
+            if not candidates:
+                kind = InjectionKind.TYPO_VALUE
+                candidates = [i for i in mutable if i not in used]
+                if not candidates:
+                    break
+            line_no = rng.choice(candidates)
+            original = lines[line_no]
+            line_class = self._line_class(original)
+            donor_values = [
+                v for v in donors[line_class]
+                if v and v != self._split(original)[2].strip()
+            ]
+            mutated = self._mutate(original, kind, rng, donor_values)
+            if mutated == original and kind is not InjectionKind.DELETE_ENTRY:
+                kind = InjectionKind.TYPO_VALUE
+                mutated = self._mutate(original, kind, rng)
+                if mutated == original:
+                    used.add(line_no)
+                    continue
+            used.add(line_no)
+            entry_name = self._entry_name(original)
+            if kind is InjectionKind.DELETE_ENTRY:
+                lines[line_no] = ""
+                errors.append(InjectedError(kind, app, entry_name, original, None, line_no + 1))
+            else:
+                lines[line_no] = mutated
+                errors.append(InjectedError(kind, app, entry_name, original, mutated, line_no + 1))
+        config.text = "\n".join(lines) + "\n"
+        return target, errors
+
+    @staticmethod
+    def _line_class(line: str) -> str:
+        """Coarse shape of a line's value: path, numeric (incl. sizes), other."""
+        value = ConfErrInjector._split(line)[2].strip()
+        if value.startswith("/") or "/" in value.split()[0:1]:
+            return "path"
+        if re.match(r"^\d+[KMGT]?B?$", value, re.IGNORECASE) and value not in ("0", "1"):
+            return "numeric"
+        return "other"
+
+    # -- mutation operators -------------------------------------------------------
+
+    def _mutate(
+        self, line: str, kind: InjectionKind, rng: random.Random,
+        donor_values: Optional[List[str]] = None,
+    ) -> str:
+        name, sep, value = self._split(line)
+        if kind is InjectionKind.DELETE_ENTRY:
+            return line  # handled by caller
+        if kind is InjectionKind.VALUE_SWAP:
+            donors = [
+                v for v in (donor_values or []) if v != value.strip()
+            ]
+            if not donors or not value.strip():
+                return line
+            return name + sep + rng.choice(donors)
+        if kind is InjectionKind.TYPO_NAME:
+            return self._typo(name, rng) + sep + value
+        if kind is InjectionKind.TYPO_VALUE:
+            if not value.strip():
+                return line
+            return name + sep + self._typo(value, rng)
+        if kind is InjectionKind.WRONG_PATH:
+            if "/" not in value:
+                return line
+            return name + sep + rng.choice(
+                ["/opt/does/not/exist", "/etc/passwd", "/tmp"]
+            )
+        if kind is InjectionKind.WRONG_TYPE:
+            if not value.strip():
+                return line
+            replacement = rng.choice(
+                [c for c in _TYPE_CONFUSIONS if c != value.strip()]
+            )
+            return name + sep + replacement
+        if kind is InjectionKind.ORDER_VIOLATION:
+            return name + sep + self._scale_value(value, rng) if value.strip() else line
+        raise ValueError(f"unknown kind {kind}")
+
+    @staticmethod
+    def _split(line: str) -> Tuple[str, str, str]:
+        """(name, separator, value) preserving the original separator."""
+        match = re.match(r"^(\s*\S+)(\s*=\s*|\s+)(.*)$", line)
+        if not match:
+            return line, "", ""
+        return match.group(1), match.group(2), match.group(3)
+
+    @staticmethod
+    def _typo(text: str, rng: random.Random) -> str:
+        """One-character omission/insertion/substitution/transposition."""
+        letters = [i for i, ch in enumerate(text) if ch.isalnum()]
+        if not letters:
+            return text + "x"
+        i = rng.choice(letters)
+        op = rng.randrange(4)
+        if op == 0:  # omission
+            return text[:i] + text[i + 1:]
+        if op == 1:  # insertion
+            return text[:i] + rng.choice("abcdefghijklmnopqrstuvwxyz") + text[i:]
+        if op == 2:  # substitution
+            replacement = rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            while replacement == text[i]:
+                replacement = rng.choice("abcdefghijklmnopqrstuvwxyz0123456789")
+            return text[:i] + replacement + text[i + 1:]
+        if i + 1 < len(text):  # transposition
+            return text[:i] + text[i + 1] + text[i] + text[i + 2:]
+        return text[:i] + "x" + text[i:]
+
+    @staticmethod
+    def _scale_value(value: str, rng: random.Random) -> str:
+        """Push a numeric or size value far out of its usual range."""
+        match = re.match(r"^(\d+)([KMGT]?B?)$", value.strip(), re.IGNORECASE)
+        if not match:
+            return value
+        number = int(match.group(1))
+        factor = rng.choice([64, 128, 1024])
+        return f"{number * factor}{match.group(2)}"
+
+    @staticmethod
+    def _entry_name(line: str) -> str:
+        stripped = line.strip()
+        if "=" in stripped:
+            return stripped.split("=", 1)[0].strip()
+        return stripped.split(None, 1)[0] if stripped else ""

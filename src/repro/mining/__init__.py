@@ -1,0 +1,48 @@
+"""Off-the-shelf association-rule-mining substrate.
+
+Paper Section 2.2 reports the authors' experience running standard
+association-rule mining (Apriori, FP-Growth via Weka/RapidMiner) on
+configuration data, and finds that it does not scale: boolean
+discretization inflates the attribute count (Table 2) and the frequent
+item sets explode with the number of attributes (Table 3, with OOM beyond
+~200 entries).  Reproducing those *negative* findings requires the miners
+themselves, so this package implements them from scratch:
+
+* :mod:`~repro.mining.itemsets` — transaction tables and the
+  nominal→binomial discretization of Table 2;
+* :mod:`~repro.mining.apriori` — level-wise Apriori;
+* :mod:`~repro.mining.fpgrowth` — FP-tree based FP-Growth;
+* :mod:`~repro.mining.association` — rule extraction with support and
+  confidence;
+* :mod:`~repro.mining.entropy` — Shannon entropy (paper §5.2), also used
+  by EnCore's rule filter.
+
+Both miners accept a ``max_itemsets`` budget that raises
+:class:`ItemsetBudgetExceeded`, modelling the paper's Out-Of-Memory
+terminations without actually exhausting memory.
+"""
+
+from repro.mining.itemsets import (
+    Itemset,
+    ItemsetBudgetExceeded,
+    TransactionTable,
+    discretize_binomial,
+)
+from repro.mining.apriori import apriori
+from repro.mining.fpgrowth import FPTree, fpgrowth
+from repro.mining.association import AssociationRule, mine_association_rules
+from repro.mining.entropy import shannon_entropy, value_entropy
+
+__all__ = [
+    "AssociationRule",
+    "FPTree",
+    "Itemset",
+    "ItemsetBudgetExceeded",
+    "TransactionTable",
+    "apriori",
+    "discretize_binomial",
+    "fpgrowth",
+    "mine_association_rules",
+    "shannon_entropy",
+    "value_entropy",
+]

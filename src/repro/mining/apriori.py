@@ -1,0 +1,85 @@
+"""Level-wise Apriori frequent-itemset mining (Agrawal & Srikant, VLDB'94).
+
+Included both as the baseline the paper tried first ("Apriori does not
+scale to large data sets", §2.2) and as a correctness oracle for the
+FP-Growth implementation in tests: on any input both must produce the same
+frequent itemsets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.mining.itemsets import Item, Itemset, ItemsetBudgetExceeded, TransactionTable
+
+
+def apriori(
+    table: TransactionTable,
+    min_support: float,
+    max_len: Optional[int] = None,
+    max_itemsets: Optional[int] = None,
+) -> List[Itemset]:
+    """All itemsets with relative support >= *min_support*.
+
+    *max_len* bounds itemset size; *max_itemsets* is the memory budget of
+    :class:`ItemsetBudgetExceeded` (see paper Table 3's OOM column).
+    """
+    if len(table) == 0:
+        return []
+    min_count = table.min_count(min_support)
+
+    counts = table.item_counts()
+    current: Dict[FrozenSet[Item], int] = {
+        frozenset([item]): count
+        for item, count in counts.items()
+        if count >= min_count
+    }
+    result: List[Itemset] = []
+    total = 0
+    k = 1
+    while current:
+        for items, support in current.items():
+            result.append(Itemset(items, support))
+        total += len(current)
+        if max_itemsets is not None and total > max_itemsets:
+            raise ItemsetBudgetExceeded(max_itemsets, total)
+        if max_len is not None and k >= max_len:
+            break
+        candidates = _generate_candidates(set(current), k + 1)
+        if max_itemsets is not None and total + len(candidates) > 4 * max_itemsets:
+            # Candidate generation itself is the memory hog at scale.
+            raise ItemsetBudgetExceeded(max_itemsets, total + len(candidates))
+        current = _count_candidates(table, candidates, min_count)
+        k += 1
+    return result
+
+
+def _generate_candidates(
+    frequent: Set[FrozenSet[Item]], k: int
+) -> Set[FrozenSet[Item]]:
+    """Join step + prune step of classic Apriori."""
+    candidates: Set[FrozenSet[Item]] = set()
+    frequent_list = sorted(frequent, key=lambda s: sorted(s))
+    for i, a in enumerate(frequent_list):
+        for b in frequent_list[i + 1:]:
+            union = a | b
+            if len(union) != k:
+                continue
+            # Prune: every (k-1)-subset must be frequent.
+            if all(frozenset(sub) in frequent for sub in combinations(union, k - 1)):
+                candidates.add(union)
+    return candidates
+
+
+def _count_candidates(
+    table: TransactionTable,
+    candidates: Set[FrozenSet[Item]],
+    min_count: int,
+) -> Dict[FrozenSet[Item], int]:
+    counts: Dict[FrozenSet[Item], int] = {c: 0 for c in candidates}
+    for transaction in table:
+        for candidate in candidates:
+            if candidate <= transaction:
+                counts[candidate] += 1
+    return {c: n for c, n in counts.items() if n >= min_count}

@@ -1,0 +1,77 @@
+"""Association-rule extraction from frequent itemsets.
+
+Standard support/confidence rule generation, used by the Section 2.2
+comparison study and available to users who want classic association rules
+alongside EnCore's template rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, List
+
+from repro.mining.itemsets import Item, Itemset, TransactionTable
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent -> consequent`` with support and confidence."""
+
+    antecedent: FrozenSet[Item]
+    consequent: FrozenSet[Item]
+    support: int
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent or not self.consequent:
+            raise ValueError("antecedent and consequent must be non-empty")
+        if self.antecedent & self.consequent:
+            raise ValueError("antecedent and consequent must be disjoint")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(f"confidence out of range: {self.confidence}")
+
+    def __str__(self) -> str:
+        lhs = ", ".join(sorted(self.antecedent))
+        rhs = ", ".join(sorted(self.consequent))
+        return f"{{{lhs}}} -> {{{rhs}}} (sup={self.support}, conf={self.confidence:.2f})"
+
+
+def mine_association_rules(
+    itemsets: List[Itemset],
+    table: TransactionTable,
+    min_confidence: float,
+) -> List[AssociationRule]:
+    """Generate rules from *itemsets* meeting *min_confidence*.
+
+    For each frequent itemset of size >= 2, every non-empty proper subset is
+    tried as an antecedent; confidence is ``support(itemset) /
+    support(antecedent)``.
+    """
+    if not 0 <= min_confidence <= 1:
+        raise ValueError(f"min_confidence must be in [0,1], got {min_confidence}")
+    support_index = {iset.items: iset.support for iset in itemsets}
+    rules: List[AssociationRule] = []
+    for iset in itemsets:
+        if len(iset.items) < 2:
+            continue
+        items = sorted(iset.items)
+        for r in range(1, len(items)):
+            for antecedent_tuple in combinations(items, r):
+                antecedent = frozenset(antecedent_tuple)
+                ante_support = support_index.get(antecedent)
+                if ante_support is None:
+                    ante_support = table.support(antecedent)
+                if ante_support == 0:
+                    continue
+                confidence = iset.support / ante_support
+                if confidence >= min_confidence:
+                    rules.append(
+                        AssociationRule(
+                            antecedent,
+                            iset.items - antecedent,
+                            iset.support,
+                            confidence,
+                        )
+                    )
+    return rules

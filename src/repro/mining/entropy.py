@@ -1,0 +1,62 @@
+"""Shannon entropy over attribute value distributions.
+
+Paper §5.2 introduces entropy as EnCore's third rule filter: "It measures
+the diversity of the dataset: its value increases when more diverse values
+are seen for a given entry", with
+
+    H = - sum_i p_i ln p_i,   p_i = N_i / N.
+
+The paper's threshold is Ht = 0.325, calibrated to a two-value 90%/10%
+split.  Natural log, matching the paper's formula.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+#: The paper's default entropy threshold (two values at 90/10 probability).
+DEFAULT_ENTROPY_THRESHOLD = 0.325
+
+
+def shannon_entropy(probabilities: Sequence[float]) -> float:
+    """Entropy (nats) of an explicit probability vector.
+
+    The vector must be non-negative and sum to 1 (within tolerance).
+    """
+    total = sum(probabilities)
+    if probabilities and not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    entropy = 0.0
+    for p in probabilities:
+        if p < 0:
+            raise ValueError(f"negative probability: {p}")
+        if p > 0:
+            entropy -= p * math.log(p)
+    return entropy
+
+
+def value_entropy(values: Iterable[object]) -> float:
+    """Entropy of the empirical value distribution of one attribute.
+
+    ``None`` values (attribute absent in that system) are excluded, matching
+    the paper's N = "the times this entry appears in the training set".
+    An attribute with zero or one distinct value has entropy 0.
+    """
+    counts: Dict[object, int] = {}
+    total = 0
+    for value in values:
+        if value is None:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+        total += 1
+    if total == 0:
+        return 0.0
+    return shannon_entropy([n / total for n in counts.values()])
+
+
+def two_value_threshold(p_major: float = 0.9) -> float:
+    """Entropy of a two-value split — how the paper derives Ht = 0.325."""
+    if not 0.5 <= p_major < 1.0:
+        raise ValueError("p_major must be in [0.5, 1)")
+    return shannon_entropy([p_major, 1.0 - p_major])

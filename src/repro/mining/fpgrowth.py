@@ -1,0 +1,174 @@
+"""FP-Growth frequent-itemset mining (Han, Pei & Yin, SIGMOD'00).
+
+The miner the paper settled on for its Section 2.2 study ("we mainly use
+the results from FP-Growth as Apriori does not scale", §2.2).  Builds the
+FP-tree once, then mines conditional trees recursively.
+
+Like :func:`repro.mining.apriori.apriori`, accepts a ``max_itemsets``
+budget that raises :class:`ItemsetBudgetExceeded` to model the OOM
+terminations of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.mining.itemsets import Item, Itemset, ItemsetBudgetExceeded, TransactionTable
+
+
+class _Node:
+    """One FP-tree node."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Optional[Item], parent: Optional["_Node"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: Dict[Item, _Node] = {}
+        self.link: Optional[_Node] = None
+
+
+class FPTree:
+    """An FP-tree with header-table node links."""
+
+    def __init__(self) -> None:
+        self.root = _Node(None, None)
+        self.header: Dict[Item, _Node] = {}
+        self._tails: Dict[Item, _Node] = {}
+
+    @classmethod
+    def build(
+        cls,
+        transactions: Iterable[Tuple[List[Item], int]],
+        order: Dict[Item, int],
+    ) -> "FPTree":
+        """Build from (items, count) pairs; items filtered+sorted by *order*."""
+        tree = cls()
+        for items, count in transactions:
+            ordered = sorted(
+                (i for i in items if i in order), key=lambda i: (order[i], i)
+            )
+            tree._insert(ordered, count)
+        return tree
+
+    def _insert(self, items: List[Item], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _Node(item, node)
+                node.children[item] = child
+                if item not in self.header:
+                    self.header[item] = child
+                else:
+                    self._tails[item].link = child
+                self._tails[item] = child
+            child.count += count
+            node = child
+
+    def node_count(self) -> int:
+        """Total nodes (root excluded) — a memory-footprint proxy."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            stack.extend(node.children.values())
+            total += 1
+        return total - 1
+
+    def prefix_paths(self, item: Item) -> List[Tuple[List[Item], int]]:
+        """Conditional pattern base of *item*: (prefix path, count) pairs."""
+        paths: List[Tuple[List[Item], int]] = []
+        node = self.header.get(item)
+        while node is not None:
+            path: List[Item] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                paths.append((list(reversed(path)), node.count))
+            node = node.link
+        return paths
+
+    def item_supports(self) -> Dict[Item, int]:
+        """Item → total support in this (conditional) tree."""
+        out: Dict[Item, int] = {}
+        for item, head in self.header.items():
+            total = 0
+            node: Optional[_Node] = head
+            while node is not None:
+                total += node.count
+                node = node.link
+            out[item] = total
+        return out
+
+
+def fpgrowth(
+    table: TransactionTable,
+    min_support: float,
+    max_len: Optional[int] = None,
+    max_itemsets: Optional[int] = None,
+) -> List[Itemset]:
+    """All itemsets with relative support >= *min_support* via FP-Growth."""
+    if len(table) == 0:
+        return []
+    min_count = table.min_count(min_support)
+    counts = {i: c for i, c in table.item_counts().items() if c >= min_count}
+    if not counts:
+        return []
+    # Descending frequency order (ties broken lexicographically).
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(counts, key=lambda i: (-counts[i], i))
+        )
+    }
+    tree = FPTree.build(((list(t), 1) for t in table), order)
+    result: List[Itemset] = []
+    _mine(tree, min_count, frozenset(), result, max_len, max_itemsets)
+    return result
+
+
+def _mine(
+    tree: FPTree,
+    min_count: int,
+    suffix: FrozenSet[Item],
+    result: List[Itemset],
+    max_len: Optional[int],
+    max_itemsets: Optional[int],
+) -> None:
+    supports = tree.item_supports()
+    # Mine least-frequent first (bottom of the header order).
+    for item in sorted(supports, key=lambda i: (supports[i], i)):
+        support = supports[item]
+        if support < min_count:
+            continue
+        new_suffix = suffix | {item}
+        result.append(Itemset(new_suffix, support))
+        if max_itemsets is not None and len(result) > max_itemsets:
+            raise ItemsetBudgetExceeded(max_itemsets, len(result))
+        if max_len is not None and len(new_suffix) >= max_len:
+            continue
+        paths = tree.prefix_paths(item)
+        if not paths:
+            continue
+        cond_counts: Dict[Item, int] = {}
+        for path, count in paths:
+            for path_item in path:
+                cond_counts[path_item] = cond_counts.get(path_item, 0) + count
+        cond_counts = {i: c for i, c in cond_counts.items() if c >= min_count}
+        if not cond_counts:
+            continue
+        order = {
+            i: rank
+            for rank, i in enumerate(
+                sorted(cond_counts, key=lambda i: (-cond_counts[i], i))
+            )
+        }
+        cond_tree = FPTree.build(
+            (([i for i in path if i in cond_counts], count) for path, count in paths),
+            order,
+        )
+        _mine(cond_tree, min_count, new_suffix, result, max_len, max_itemsets)

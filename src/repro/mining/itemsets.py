@@ -1,0 +1,126 @@
+"""Transaction tables, itemsets, and boolean discretization.
+
+Association-rule miners work over *transactions* (sets of boolean items).
+Configuration data is nominal (each attribute takes one of several string
+values), so it must first be discretized: every (attribute, value) pair
+becomes one boolean item.  The paper calls this "the boolean discretization
+problem" and Table 2 shows the resulting attribute blow-up
+(Original → Augmented → Binomial columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: An item is an opaque hashable token; for discretized config data it is
+#: the string ``"attribute=value"``.
+Item = str
+
+
+class ItemsetBudgetExceeded(RuntimeError):
+    """Raised when a miner would materialise more itemsets than allowed.
+
+    Stands in for the Out-Of-Memory terminations of paper Table 3 without
+    actually exhausting the host.  Carries the count reached so far.
+    """
+
+    def __init__(self, budget: int, reached: int) -> None:
+        super().__init__(
+            f"frequent-itemset budget exceeded: reached {reached} (budget {budget})"
+        )
+        self.budget = budget
+        self.reached = reached
+
+
+@dataclass(frozen=True)
+class Itemset:
+    """A frequent itemset with its absolute support count."""
+
+    items: FrozenSet[Item]
+    support: int
+
+    def __post_init__(self) -> None:
+        if self.support < 0:
+            raise ValueError("support must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self.items
+
+
+class TransactionTable:
+    """An immutable list of transactions with support counting."""
+
+    def __init__(self, transactions: Iterable[Iterable[Item]]) -> None:
+        self._transactions: List[FrozenSet[Item]] = [
+            frozenset(t) for t in transactions
+        ]
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self):
+        return iter(self._transactions)
+
+    def __getitem__(self, idx: int) -> FrozenSet[Item]:
+        return self._transactions[idx]
+
+    def items(self) -> List[Item]:
+        """All distinct items, sorted."""
+        out = set()
+        for t in self._transactions:
+            out.update(t)
+        return sorted(out)
+
+    def item_counts(self) -> Dict[Item, int]:
+        """Item → number of transactions containing it."""
+        counts: Dict[Item, int] = {}
+        for t in self._transactions:
+            for item in t:
+                counts[item] = counts.get(item, 0) + 1
+        return counts
+
+    def support(self, items: Iterable[Item]) -> int:
+        """Number of transactions containing every item in *items*."""
+        needle = frozenset(items)
+        return sum(1 for t in self._transactions if needle <= t)
+
+    def min_count(self, min_support: float) -> int:
+        """Absolute count threshold for a relative *min_support* in [0,1]."""
+        if not 0 <= min_support <= 1:
+            raise ValueError(f"min_support must be in [0,1], got {min_support}")
+        # Ceiling, but at least 1 so empty-support items never qualify.
+        return max(1, -(-int(min_support * len(self._transactions) * 1_000_000) // 1_000_000))
+
+
+def discretize_binomial(
+    rows: Sequence[Mapping[str, object]],
+    missing_marker: Optional[str] = None,
+) -> Tuple[TransactionTable, List[Item]]:
+    """Nominal rows → boolean transactions (one item per attribute=value).
+
+    *rows* maps attribute name → value; ``None`` values (attribute absent in
+    that system) are skipped unless *missing_marker* is given, in which case
+    they become ``"attr=<marker>"`` items.
+
+    Returns the transaction table and the sorted universe of generated
+    items.  ``len(universe)`` is the paper's "Binomial" column of Table 2.
+    """
+    transactions: List[List[Item]] = []
+    universe = set()
+    for row in rows:
+        transaction: List[Item] = []
+        for attr in row:
+            value = row[attr]
+            if value is None:
+                if missing_marker is None:
+                    continue
+                value = missing_marker
+            item = f"{attr}={value}"
+            transaction.append(item)
+            universe.add(item)
+        transactions.append(transaction)
+    return TransactionTable(transactions), sorted(universe)

@@ -1,0 +1,38 @@
+"""Configuration-file parsers (the Augeas substitute).
+
+The paper builds its parser "on top of Augeas, a general configuration file
+parser supporting various software configuration formats" with an
+"extensible interface to import other parsers" (§4.1).  This package
+provides that contract: each parser turns raw config text into a flat list
+of :class:`ConfigEntry` key-value pairs, and :class:`ParserRegistry` lets
+users plug in their own.
+
+Supported formats out of the box:
+
+* ``apache``  — httpd.conf directives including nested ``<Section>`` blocks;
+* ``mysql``   — my.cnf INI sections;
+* ``php``     — php.ini;
+* ``sshd``    — sshd_config keyword/argument lines;
+* ``keyvalue``— generic ``key = value`` fallback.
+"""
+
+from repro.parsers.base import ConfigEntry, ConfigParseError, ConfigParser
+from repro.parsers.apache import ApacheParser
+from repro.parsers.mysql import MySQLParser
+from repro.parsers.php import PHPIniParser
+from repro.parsers.sshd import SSHDParser
+from repro.parsers.keyvalue import KeyValueParser
+from repro.parsers.registry import ParserRegistry, default_registry
+
+__all__ = [
+    "ApacheParser",
+    "ConfigEntry",
+    "ConfigParseError",
+    "ConfigParser",
+    "KeyValueParser",
+    "MySQLParser",
+    "PHPIniParser",
+    "ParserRegistry",
+    "SSHDParser",
+    "default_registry",
+]

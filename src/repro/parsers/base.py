@@ -1,0 +1,123 @@
+"""Parser interface and the uniform key-value record.
+
+The data assembler "first converts the configuration files from
+application-specific format to uniform key-value pairs" (paper §4.1).
+:class:`ConfigEntry` is that pair, annotated with provenance (app, file,
+line, section) so the detector can point warnings back at the source.
+
+Entry *names* are canonicalised hierarchically: a MySQL entry ``datadir``
+in section ``[mysqld]`` becomes ``mysqld/datadir``; an Apache directive
+inside ``<Directory /var/www>`` becomes ``Directory/DocumentRoot``-style
+names; repeated directives (e.g. ``LoadModule``) get positional argument
+columns (``LoadModule/arg2``) exactly as the paper's concrete rules show
+(Figure 4b uses ``LoadModule/arg2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class ConfigParseError(ValueError):
+    """Raised when a configuration file cannot be parsed at all."""
+
+
+@dataclass(frozen=True)
+class ConfigEntry:
+    """One uniform key-value pair extracted from a configuration file.
+
+    ``name`` is the canonical hierarchical entry name; ``value`` the raw
+    string value.  ``occurrence`` disambiguates repeated entries with the
+    same canonical name (0-based).
+    """
+
+    app: str
+    name: str
+    value: str
+    source_path: str = ""
+    line: int = 0
+    section: Optional[str] = None
+    occurrence: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("entry name must be non-empty")
+
+    @property
+    def qualified_name(self) -> str:
+        """``app:name`` — globally unique across a multi-app image."""
+        return f"{self.app}:{self.name}"
+
+    def with_value(self, value: str) -> "ConfigEntry":
+        """A copy carrying a different value (injection helper)."""
+        return ConfigEntry(
+            self.app, self.name, value, self.source_path,
+            self.line, self.section, self.occurrence,
+        )
+
+
+class ConfigParser:
+    """Base class for format-specific parsers (the Augeas 'lens' role).
+
+    Subclasses implement :meth:`parse_text`; :meth:`parse` adds provenance.
+    """
+
+    #: Application name this parser handles (registry key).
+    app: str = ""
+
+    def parse(self, text: str, source_path: str = "") -> List[ConfigEntry]:
+        """Parse *text* into entries, stamping ``source_path`` on each."""
+        entries = self.parse_text(text)
+        if not source_path:
+            return entries
+        return [
+            ConfigEntry(
+                e.app, e.name, e.value, source_path, e.line, e.section, e.occurrence
+            )
+            for e in entries
+        ]
+
+    def parse_text(self, text: str) -> List[ConfigEntry]:
+        raise NotImplementedError
+
+    # -- shared helpers --------------------------------------------------------
+
+    @staticmethod
+    def strip_comment(line: str, markers: Sequence[str] = ("#",)) -> str:
+        """Drop trailing comments (quote-unaware; fine for our formats)."""
+        for marker in markers:
+            idx = line.find(marker)
+            if idx >= 0:
+                line = line[:idx]
+        return line.rstrip()
+
+    @staticmethod
+    def unquote(value: str) -> str:
+        """Strip one layer of matching single or double quotes."""
+        value = value.strip()
+        if len(value) >= 2 and value[0] == value[-1] and value[0] in "\"'":
+            return value[1:-1]
+        return value
+
+
+def dedupe_occurrences(entries: List[ConfigEntry]) -> List[ConfigEntry]:
+    """Assign 0-based occurrence indices to repeated entry names.
+
+    The paper (Table 2) notes that "the mining algorithms treat each
+    occurrence of an entry as a different attribute"; keeping explicit
+    occurrence numbers lets the assembler reproduce that behaviour.
+    """
+    seen: dict = {}
+    out: List[ConfigEntry] = []
+    for entry in entries:
+        key = (entry.app, entry.name)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            ConfigEntry(
+                entry.app, entry.name, entry.value, entry.source_path,
+                entry.line, entry.section, occurrence,
+            )
+        )
+    return out

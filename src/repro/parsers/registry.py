@@ -1,0 +1,59 @@
+"""Parser registry — the extensible import interface of paper §4.1.
+
+"Augeas provides an extensible interface to import other parsers, enabling
+users to easily import their own configuration parser into EnCore."  The
+registry maps application names to parser instances; unknown apps fall back
+to the generic key-value lens so collection never hard-fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.parsers.apache import ApacheParser
+from repro.parsers.base import ConfigEntry, ConfigParser
+from repro.parsers.keyvalue import KeyValueParser
+from repro.parsers.mysql import MySQLParser
+from repro.parsers.php import PHPIniParser
+from repro.parsers.sshd import SSHDParser
+
+
+class ParserRegistry:
+    """App name → parser, with a generic fallback."""
+
+    def __init__(self, fallback_to_generic: bool = True) -> None:
+        self._parsers: Dict[str, ConfigParser] = {}
+        self._fallback = fallback_to_generic
+
+    def register(self, parser: ConfigParser, app: Optional[str] = None) -> None:
+        """Register *parser* under its ``app`` name (or an explicit alias)."""
+        name = app or parser.app
+        if not name:
+            raise ValueError("parser has no app name")
+        self._parsers[name] = parser
+
+    def get(self, app: str) -> ConfigParser:
+        """Parser for *app*; a generic lens when unknown and fallback is on."""
+        parser = self._parsers.get(app)
+        if parser is not None:
+            return parser
+        if self._fallback:
+            return KeyValueParser(app=app)
+        raise KeyError(f"no parser registered for app {app!r}")
+
+    def known_apps(self) -> List[str]:
+        return sorted(self._parsers)
+
+    def parse(self, app: str, text: str, source_path: str = "") -> List[ConfigEntry]:
+        """Convenience: look up and run the parser in one call."""
+        return self.get(app).parse(text, source_path=source_path)
+
+
+def default_registry() -> ParserRegistry:
+    """Registry preloaded with the four applications studied in the paper."""
+    registry = ParserRegistry()
+    registry.register(ApacheParser())
+    registry.register(MySQLParser())
+    registry.register(PHPIniParser())
+    registry.register(SSHDParser())
+    return registry

@@ -1,0 +1,51 @@
+"""System-as-data substrate.
+
+The EnCore paper (Section 1) embraces the view of *systems as structured
+data*: a configured system (e.g. an Amazon EC2 image) is modelled as the
+collection of metadata EnCore's data collector would gather from it —
+filesystem metadata, account databases, service registries, hardware
+specification, OS release information and environment variables.
+
+This package provides that model.  A :class:`SystemImage` bundles:
+
+* :class:`FileSystem` — every file/directory/symlink with full metadata
+  (owner, group, permission bits, size, link target);
+* :class:`AccountDatabase` — ``/etc/passwd`` and ``/etc/group`` contents;
+* :class:`ServiceRegistry` — ``/etc/services`` (port/name mapping);
+* :class:`HardwareSpec` — CPU threads/frequency, memory, disk;
+* :class:`OSInfo` — distribution name/version, SELinux status;
+* environment variables (only present for *running* instances, matching
+  Table 7 of the paper).
+
+Everything is plain in-memory data, JSON-serialisable via
+:mod:`repro.sysmodel.snapshot`, so corpora of thousands of images are cheap
+to generate and to persist.
+"""
+
+from repro.sysmodel.filesystem import FileKind, FileMeta, FileSystem
+from repro.sysmodel.accounts import AccountDatabase, Group, User
+from repro.sysmodel.services import Service, ServiceRegistry
+from repro.sysmodel.hardware import HardwareSpec
+from repro.sysmodel.osinfo import OSInfo, SELinuxStatus
+from repro.sysmodel.image import ConfigFile, SystemImage
+from repro.sysmodel.snapshot import image_from_dict, image_to_dict, load_image, save_image
+
+__all__ = [
+    "AccountDatabase",
+    "ConfigFile",
+    "FileKind",
+    "FileMeta",
+    "FileSystem",
+    "Group",
+    "HardwareSpec",
+    "OSInfo",
+    "SELinuxStatus",
+    "Service",
+    "ServiceRegistry",
+    "SystemImage",
+    "User",
+    "image_from_dict",
+    "image_to_dict",
+    "load_image",
+    "save_image",
+]

@@ -1,0 +1,15 @@
+"""Rule-guided configuration-test generation.
+
+The paper's Related Work (§8) observes that configuration testing tools
+(SPEX, ConfErr, KLEE) "can benefit from EnCore since it provides new
+error injection opportunities such as erroneous environment settings and
+violations of correlation rules".  This package realises that direction:
+given a trained EnCore model, :class:`~repro.testing.rulegen.
+RuleGuidedTestGenerator` synthesizes targeted test cases — configuration
+or environment mutations engineered to violate specific learned rules —
+far more focused than ConfErr's random mistakes.
+"""
+
+from repro.testing.rulegen import GeneratedTest, RuleGuidedTestGenerator
+
+__all__ = ["GeneratedTest", "RuleGuidedTestGenerator"]

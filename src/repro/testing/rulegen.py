@@ -1,0 +1,206 @@
+"""Rule-guided test-case generation (the §8 ConfErr-enhancement idea).
+
+For each learned rule that applies to a seed image, generate a mutated
+image that *violates exactly that rule*:
+
+* ownership rules → chown the path away from the expected owner
+  (an **environment** mutation — something ConfErr cannot produce);
+* accessibility rules → open up the permissions;
+* ordering rules → push the smaller entry across its partner's bound
+  (a **config** mutation);
+* equality rules → desynchronise the two entries;
+* concatenation rules → remove the joined path from the filesystem.
+
+Each :class:`GeneratedTest` records the targeted rule and the mutation,
+and carries the oracle: a fresh EnCore check of the mutated image should
+flag the targeted rule (used both as a self-test of the detector and as
+a seed corpus for configuration-testing campaigns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.dataset import AssembledSystem
+from repro.core.pipeline import TrainedModel
+from repro.core.rules import ConcreteRule
+from repro.core.types import parse_number, parse_size_bytes
+from repro.corpus.generator import _replace_value
+from repro.sysmodel.image import SystemImage
+
+
+@dataclass
+class GeneratedTest:
+    """One targeted test case."""
+
+    rule: ConcreteRule
+    mutation_kind: str  # "environment" | "config"
+    description: str
+    image: SystemImage
+
+    def __str__(self) -> str:
+        return f"[{self.mutation_kind}] {self.description}"
+
+
+class RuleGuidedTestGenerator:
+    """Synthesizes rule-violating mutants of a seed image."""
+
+    def __init__(self, model: TrainedModel) -> None:
+        self.model = model
+
+    def generate(
+        self,
+        seed_image: SystemImage,
+        target: AssembledSystem,
+        max_tests: Optional[int] = None,
+    ) -> List[GeneratedTest]:
+        """Mutants for every applicable rule (up to *max_tests*).
+
+        *target* is the assembled row of *seed_image* (the generator
+        needs values and types; assembling is the caller's job so one
+        assembly can serve many generators).
+        """
+        out: List[GeneratedTest] = []
+        for rule in self.model.rules:
+            if max_tests is not None and len(out) >= max_tests:
+                break
+            test = self._mutate_for_rule(rule, seed_image, target, len(out))
+            if test is not None:
+                out.append(test)
+        return out
+
+    # -- per-template mutation strategies -----------------------------------------
+
+    def _mutate_for_rule(
+        self,
+        rule: ConcreteRule,
+        seed: SystemImage,
+        target: AssembledSystem,
+        index: int,
+    ) -> Optional[GeneratedTest]:
+        value_a = target.value(rule.attribute_a)
+        value_b = target.value(rule.attribute_b)
+        if value_a is None or value_b is None:
+            return None
+        strategy = {
+            "ownership": self._break_ownership,
+            "not_accessible": self._break_accessibility,
+            "concat_path": self._break_concat,
+            "less_number": self._break_ordering,
+            "less_size": self._break_ordering,
+            "equal_same_type": self._break_equality,
+            "one_instance_equal": self._break_equality,
+        }.get(rule.template_name)
+        if strategy is None:
+            return None
+        mutant = seed.copy(f"{seed.image_id}-t{index}")
+        return strategy(rule, mutant, value_a, value_b)
+
+    @staticmethod
+    def _break_ownership(
+        rule: ConcreteRule, mutant: SystemImage, value_a: str, value_b: str
+    ) -> Optional[GeneratedTest]:
+        if not mutant.fs.exists(value_a):
+            return None
+        wrong_owner = "root" if value_b != "root" else "nobody"
+        mutant.fs.chown(value_a, owner=wrong_owner, group=wrong_owner)
+        return GeneratedTest(
+            rule, "environment",
+            f"chown {wrong_owner} {value_a} (expected owner {value_b})",
+            mutant,
+        )
+
+    @staticmethod
+    def _break_accessibility(
+        rule: ConcreteRule, mutant: SystemImage, value_a: str, value_b: str
+    ) -> Optional[GeneratedTest]:
+        meta = mutant.fs.get(value_a)
+        if meta is None:
+            return None
+        mutant.fs.chmod(value_a, 0o644)
+        mutant.fs.chown(value_a, owner="root", group="root")
+        return GeneratedTest(
+            rule, "environment",
+            f"make {value_a} world-readable (must stay inaccessible to "
+            f"{value_b})",
+            mutant,
+        )
+
+    @staticmethod
+    def _break_concat(
+        rule: ConcreteRule, mutant: SystemImage, value_a: str, value_b: str
+    ) -> Optional[GeneratedTest]:
+        joined = f"{value_a.rstrip('/')}/{value_b}"
+        if not mutant.fs.exists(joined):
+            return None
+        mutant.fs.remove(joined)
+        return GeneratedTest(
+            rule, "environment",
+            f"remove {joined} (the concatenated path must exist)",
+            mutant,
+        )
+
+    @staticmethod
+    def _break_ordering(
+        rule: ConcreteRule, mutant: SystemImage, value_a: str, value_b: str
+    ) -> Optional[GeneratedTest]:
+        app, _, name = rule.attribute_a.partition(":")
+        raw = name.rsplit("/", 1)[-1]
+        if rule.template_name == "less_size":
+            bound = parse_size_bytes(value_b)
+            current = parse_size_bytes(value_a)
+            if bound is None or current is None:
+                return None
+            oversized = _size_literal(bound * 4 if bound else 4)
+        else:
+            bound = parse_number(value_b)
+            if bound is None:
+                return None
+            oversized = str(int(abs(bound) * 4) + 1)
+        try:
+            config = mutant.config_file(app)
+        except KeyError:
+            return None
+        new_text, old = _replace_value(config.text, raw, oversized)
+        if old is None:
+            return None
+        config.text = new_text
+        return GeneratedTest(
+            rule, "config",
+            f"set {rule.attribute_a} to {oversized} (must stay "
+            f"{rule.relation} {rule.attribute_b} = {value_b})",
+            mutant,
+        )
+
+    @staticmethod
+    def _break_equality(
+        rule: ConcreteRule, mutant: SystemImage, value_a: str, value_b: str
+    ) -> Optional[GeneratedTest]:
+        app, _, name = rule.attribute_a.partition(":")
+        raw = name.rsplit("/", 1)[-1]
+        desynced = value_a + "0" if not value_a.endswith("0") else value_a + "1"
+        try:
+            config = mutant.config_file(app)
+        except KeyError:
+            return None
+        new_text, old = _replace_value(config.text, raw, desynced)
+        if old is None:
+            return None
+        config.text = new_text
+        return GeneratedTest(
+            rule, "config",
+            f"desynchronise {rule.attribute_a} (= {desynced}) from "
+            f"{rule.attribute_b} (= {value_b})",
+            mutant,
+        )
+
+
+_SUFFIXES = [(1 << 40, "T"), (1 << 30, "G"), (1 << 20, "M"), (1 << 10, "K")]
+
+
+def _size_literal(num_bytes: int) -> str:
+    for unit, suffix in _SUFFIXES:
+        if num_bytes >= unit:
+            return f"{max(1, num_bytes // unit)}{suffix}"
+    return str(num_bytes)

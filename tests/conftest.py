@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Corpus generation dominates test time, so the expensive fixtures are
+session-scoped; tests must treat them as read-only (use ``.copy()`` on an
+image before mutating it).
+"""
+
+import pytest
+
+from repro.core.pipeline import EnCore
+from repro.corpus.generator import Ec2CorpusGenerator
+from repro.sysmodel.accounts import AccountDatabase
+from repro.sysmodel.filesystem import FileSystem
+from repro.sysmodel.image import ConfigFile, SystemImage
+
+
+@pytest.fixture()
+def empty_image():
+    """A bare image with defaults only."""
+    return SystemImage("test-0001")
+
+
+@pytest.fixture()
+def mysql_image():
+    """A hand-built image with a minimal coherent MySQL setup (Fig. 1b)."""
+    image = SystemImage("mysql-img")
+    image.accounts.ensure_service_account("mysql", 27)
+    image.fs.add_dir("/var/lib/mysql", owner="mysql", group="mysql", mode=0o700)
+    image.fs.add_file("/var/log/mysqld.log", owner="mysql", group="mysql", mode=0o640)
+    image.add_config_file(
+        ConfigFile(
+            "mysql", "/etc/my.cnf",
+            "[mysqld]\n"
+            "datadir = /var/lib/mysql\n"
+            "user = mysql\n"
+            "port = 3306\n"
+            "log_error = /var/log/mysqld.log\n",
+        )
+    )
+    return image
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """60 multi-app images (read-only)."""
+    return Ec2CorpusGenerator(seed=101).generate(60)
+
+
+@pytest.fixture(scope="session")
+def trained_encore(small_corpus):
+    """EnCore trained on the small corpus (read-only)."""
+    encore = EnCore()
+    encore.train(small_corpus)
+    return encore
+
+
+@pytest.fixture(scope="session")
+def held_out_image():
+    """An image from the same population, outside the training set."""
+    return Ec2CorpusGenerator(seed=101).generate_one(999)

@@ -1,0 +1,137 @@
+"""Tests for the baseline detectors and the ConfErr-style injector."""
+
+import pytest
+
+from repro.baselines.peerpressure import EnvAugmentedBaseline, ValueComparisonBaseline
+from repro.injection.conferr import ConfErrInjector, InjectedError, InjectionKind
+
+
+class TestBaselines:
+    def test_check_requires_training(self, held_out_image):
+        with pytest.raises(RuntimeError):
+            ValueComparisonBaseline().check(held_out_image)
+
+    def test_baseline_does_not_see_environment(self, small_corpus):
+        baseline = ValueComparisonBaseline()
+        dataset = baseline.train(small_corpus[:10])
+        assert not any(a.startswith("env:") for a in dataset.attributes())
+        assert not any("." in a.split(":", 1)[1] and dataset.is_augmented(a)
+                       for a in dataset.attributes())
+
+    def test_env_baseline_sees_augmented_columns(self, small_corpus):
+        baseline = EnvAugmentedBaseline()
+        dataset = baseline.train(small_corpus[:10])
+        assert any(dataset.is_augmented(a) for a in dataset.attributes())
+
+    def test_clean_image_mostly_quiet(self, small_corpus, held_out_image):
+        baseline = ValueComparisonBaseline()
+        baseline.train(small_corpus)
+        report = baseline.check(held_out_image)
+        assert len(report.warnings) <= 12
+
+    def test_detects_unseen_stable_value(self, small_corpus, held_out_image):
+        baseline = ValueComparisonBaseline()
+        baseline.train(small_corpus)
+        broken = held_out_image.copy("b")
+        text = broken.config_file("mysql").text.replace("user = mysql", "user = msql")
+        broken.replace_config_text("mysql", text)
+        report = baseline.check(broken)
+        assert report.rank_of_attribute("mysqld/user") is not None
+
+    def test_misses_wrong_path_but_env_catches(self, small_corpus, held_out_image):
+        """The paper's §7.1.1 observation, reproduced as a test."""
+        plain = ValueComparisonBaseline()
+        env = EnvAugmentedBaseline()
+        plain.train(small_corpus)
+        env.train(small_corpus)
+        broken = held_out_image.copy("b2")
+        text = broken.config_file("php").text
+        new_text = []
+        for line in text.splitlines():
+            if line.startswith("extension_dir"):
+                line = "extension_dir = /opt/missing/modules"
+            new_text.append(line)
+        broken.replace_config_text("php", "\n".join(new_text) + "\n")
+        plain_report = plain.check(broken)
+        env_report = env.check(broken)
+        assert plain_report.rank_of_attribute("extension_dir") is None
+        assert env_report.rank_of_attribute("extension_dir") is not None
+
+
+class TestConfErrInjector:
+    def test_injects_requested_count(self, held_out_image):
+        injector = ConfErrInjector(seed=1)
+        broken, errors = injector.inject(held_out_image, "mysql", count=10)
+        assert len(errors) == 10
+        assert broken.image_id != held_out_image.image_id
+
+    def test_original_untouched(self, held_out_image):
+        text_before = held_out_image.config_file("mysql").text
+        ConfErrInjector(seed=1).inject(held_out_image, "mysql", count=5)
+        assert held_out_image.config_file("mysql").text == text_before
+
+    def test_deterministic(self, held_out_image):
+        a = ConfErrInjector(seed=7).inject(held_out_image, "php", count=8)[1]
+        b = ConfErrInjector(seed=7).inject(held_out_image, "php", count=8)[1]
+        assert [e.describe() for e in a] == [e.describe() for e in b]
+
+    def test_different_seeds_differ(self, held_out_image):
+        a = ConfErrInjector(seed=1).inject(held_out_image, "php", count=8)[1]
+        b = ConfErrInjector(seed=2).inject(held_out_image, "php", count=8)[1]
+        assert [e.describe() for e in a] != [e.describe() for e in b]
+
+    def test_errors_actually_change_file(self, held_out_image):
+        broken, errors = ConfErrInjector(seed=3).inject(held_out_image, "apache", count=10)
+        original = held_out_image.config_file("apache").text.splitlines()
+        mutated = broken.config_file("apache").text.splitlines()
+        changed = sum(1 for a, b in zip(original, mutated) if a != b)
+        assert changed == len(errors)
+
+    def test_distinct_lines(self, held_out_image):
+        _, errors = ConfErrInjector(seed=5).inject(held_out_image, "mysql", count=12)
+        lines = [e.line_number for e in errors]
+        assert len(set(lines)) == len(lines)
+
+    def test_too_many_errors_rejected(self, held_out_image):
+        with pytest.raises(ValueError):
+            ConfErrInjector().inject(held_out_image, "mysql", count=10_000)
+
+    def test_kind_restriction(self, held_out_image):
+        _, errors = ConfErrInjector(seed=4).inject(
+            held_out_image, "mysql", count=6, kinds=[InjectionKind.WRONG_PATH]
+        )
+        # Fallback to typo_value happens only when a kind is inapplicable;
+        # wrong-path should dominate.
+        assert sum(1 for e in errors if e.kind is InjectionKind.WRONG_PATH) >= 3
+
+    def test_wrong_path_lands_on_path_lines(self, held_out_image):
+        _, errors = ConfErrInjector(seed=4).inject(
+            held_out_image, "mysql", count=5, kinds=[InjectionKind.WRONG_PATH]
+        )
+        for error in errors:
+            if error.kind is InjectionKind.WRONG_PATH:
+                assert "/" in error.original_line
+
+    def test_order_violation_scales_numbers(self, held_out_image):
+        _, errors = ConfErrInjector(seed=4).inject(
+            held_out_image, "php", count=4, kinds=[InjectionKind.ORDER_VIOLATION]
+        )
+        scaled = [e for e in errors if e.kind is InjectionKind.ORDER_VIOLATION]
+        assert scaled
+        for error in scaled:
+            original_value = error.original_line.split("=")[-1].strip()
+            mutated_value = error.mutated_line.split("=")[-1].strip()
+            assert original_value != mutated_value
+
+    def test_describe_mentions_kind(self, held_out_image):
+        _, errors = ConfErrInjector(seed=6).inject(held_out_image, "php", count=3)
+        for error in errors:
+            assert error.kind.value in error.describe()
+
+    def test_delete_entry_kind(self, held_out_image):
+        _, errors = ConfErrInjector(seed=8).inject(
+            held_out_image, "mysql", count=3, kinds=[InjectionKind.DELETE_ENTRY]
+        )
+        deletions = [e for e in errors if e.kind is InjectionKind.DELETE_ENTRY]
+        assert deletions
+        assert all(e.mutated_line is None for e in deletions)

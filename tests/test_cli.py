@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sysmodel.snapshot import load_image
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-corpus")
+    rc = main(["generate", "--out", str(out), "--count", "25", "--seed", "7"])
+    assert rc == 0
+    return out
+
+
+def _snapshot_datadir(data):
+    """The datadir value recorded in a snapshot's my.cnf."""
+    for config in data["config_files"]:
+        if config["app"] != "mysql":
+            continue
+        for line in config["text"].splitlines():
+            if line.strip().startswith("datadir"):
+                return line.split("=", 1)[1].strip()
+    raise AssertionError("snapshot has no mysql datadir")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_snapshots(self, corpus_dir):
+        snapshots = list(corpus_dir.glob("*.json"))
+        assert len(snapshots) == 25
+        image = load_image(snapshots[0])
+        assert image.has_app("mysql")
+
+    def test_private_cloud_population(self, tmp_path):
+        rc = main([
+            "generate", "--out", str(tmp_path), "--count", "3",
+            "--seed", "1", "--population", "private-cloud",
+        ])
+        assert rc == 0
+        image = load_image(next(tmp_path.glob("*.json")))
+        assert image.running
+
+
+class TestTrainCheck:
+    def test_train_saves_rules(self, corpus_dir, tmp_path, capsys):
+        rules_path = tmp_path / "rules.json"
+        rc = main([
+            "train", "--training", str(corpus_dir), "--rules", str(rules_path),
+        ])
+        assert rc == 0
+        assert rules_path.exists()
+        rules = json.loads(rules_path.read_text())
+        assert isinstance(rules, list) and rules
+        out = capsys.readouterr().out
+        assert "trained on 25 systems" in out
+
+    def test_check_with_saved_rules(self, corpus_dir, tmp_path, capsys):
+        rules_path = tmp_path / "rules.json"
+        main(["train", "--training", str(corpus_dir), "--rules", str(rules_path)])
+        target = sorted(corpus_dir.glob("*.json"))[0]
+        main([
+            "check", "--training", str(corpus_dir),
+            "--target", str(target), "--rules", str(rules_path),
+        ])
+        out = capsys.readouterr().out
+        assert "EnCore report" in out
+
+    def test_check_flags_broken_target(self, corpus_dir, tmp_path, capsys):
+        # Break a snapshot: datadir owned by root.
+        source = sorted(corpus_dir.glob("*.json"))[1]
+        data = json.loads(source.read_text())
+        datadir = _snapshot_datadir(data)
+        for entry in data["files"]:
+            if entry["path"] == datadir:
+                entry["owner"] = "root"
+                entry["group"] = "root"
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(data))
+        rc = main([
+            "check", "--training", str(corpus_dir), "--target", str(broken),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "datadir" in out
+
+    def test_missing_training_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "train", "--training", str(tmp_path / "empty"),
+            ])
+
+
+class TestSuggestAudit:
+    def test_suggest_on_broken_target(self, corpus_dir, tmp_path, capsys):
+        source = sorted(corpus_dir.glob("*.json"))[2]
+        data = json.loads(source.read_text())
+        datadir = _snapshot_datadir(data)
+        for entry in data["files"]:
+            if entry["path"] == datadir:
+                entry["owner"] = "root"
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(data))
+        rc = main([
+            "suggest", "--training", str(corpus_dir), "--target", str(broken),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "remediation suggestions" in out
+        assert "chown" in out
+
+    def test_audit_sweep(self, corpus_dir, capsys):
+        rc = main([
+            "audit", "--training", str(corpus_dir), "--targets", str(corpus_dir),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "audit complete" in out

@@ -1,0 +1,55 @@
+"""Cross-population checking: EC2-trained rules on private-cloud images.
+
+The paper's §7.1.3 applies rules learned from EC2 training images to 300
+commercial private-cloud images.  These tests validate that transfer:
+the model must not drown production images in false warnings, and must
+still catch the same defect classes there.
+"""
+
+import pytest
+
+from repro.corpus.private_cloud import PrivateCloudGenerator
+
+
+@pytest.fixture(scope="module")
+def private_images():
+    return PrivateCloudGenerator(seed=55).generate(12)
+
+
+class TestTransfer:
+    def test_private_images_checkable(self, trained_encore, private_images):
+        reports = trained_encore.check_many(private_images[:4])
+        assert len(reports) == 4
+
+    def test_false_warning_rate_bounded(self, trained_encore, private_images):
+        """Production images are clean; EC2-trained rules must not flood
+        them (the paper found only 24 issues across 300 images)."""
+        total = 0
+        for image in private_images:
+            total += len(trained_encore.check(image))
+        assert total / len(private_images) < 25
+
+    def test_ownership_defect_caught_across_population(
+        self, trained_encore, private_images
+    ):
+        broken = private_images[0].copy("pc-broken")
+        datadir = None
+        for line in broken.config_file("mysql").text.splitlines():
+            if line.strip().startswith("datadir"):
+                datadir = line.split("=", 1)[1].strip()
+        assert datadir and broken.fs.exists(datadir)
+        broken.fs.chown(datadir, owner="root", group="root")
+        report = trained_encore.check(broken)
+        assert report.rank_of_attribute("mysqld/datadir") is not None
+
+    def test_hardware_rows_ignored_gracefully(self, trained_encore, private_images):
+        """Private-cloud images carry hardware env rows the EC2 training
+        set never saw; they must not crash checking or produce
+        entry-name warnings (env rows are machine-generated)."""
+        from repro.core.detector import WarningKind
+
+        report = trained_encore.check(private_images[1])
+        assert all(
+            w.kind is not WarningKind.ENTRY_NAME or not w.attribute.startswith("env:")
+            for w in report.warnings
+        )

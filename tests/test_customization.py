@@ -1,0 +1,187 @@
+"""Tests for the Figure 6 customization file."""
+
+import pytest
+
+from repro.core.augment import Augmenter
+from repro.core.customization import (
+    Customization,
+    CustomizationError,
+    environment_namespace,
+    parse_customization,
+)
+from repro.core.types import ConfigType, TypeInferencer, TypeRegistry
+from repro.sysmodel.image import SystemImage
+
+SAMPLE = """
+$$TypeDeclaration
+WebRootPath
+$$TypeInference
+WebRootPath (value): { return value.startswith('/srv/') }
+$$TypeValidation
+WebRootPath (value): { return value in FS.FileList }
+$$TypeAugmentDeclaration
+WebRootPath.Depth <Number>
+$$TypeAugment
+WebRootPath.Depth (value): { return len(value.split('/')) - 1 }
+$$TypeOperator
+WebRootPath : Operator '<'
+lessdepth (v1, v2): { return len(v1) < len(v2) }
+$$Template
+[A] < [B] <WebRootPath, WebRootPath> -- 90%
+"""
+
+
+@pytest.fixture()
+def image():
+    img = SystemImage("cust-img")
+    img.fs.add_dir("/srv/www")
+    return img
+
+
+class TestParsing:
+    def test_sections_parsed(self):
+        custom = parse_customization(SAMPLE)
+        assert custom.type_names == ["WebRootPath"]
+        assert "WebRootPath" in custom.inference_methods
+        assert "WebRootPath" in custom.validation_methods
+        assert custom.augment_declarations == [("WebRootPath", "Depth", "Number")]
+        assert ("WebRootPath", "<") in custom.operators
+        assert len(custom.template_specs) == 1
+        assert custom.template_specs[0].min_confidence == 0.9
+
+    def test_empty_file(self):
+        custom = parse_customization("")
+        assert custom.type_names == []
+        assert custom.template_specs == []
+
+    def test_unknown_section_raises(self):
+        with pytest.raises(CustomizationError):
+            parse_customization("$$Bogus\nx\n")
+
+    def test_malformed_method_raises(self):
+        with pytest.raises(CustomizationError):
+            parse_customization("$$TypeInference\nnot a method\n")
+
+    def test_malformed_template_raises(self):
+        with pytest.raises(CustomizationError):
+            parse_customization("$$Template\n[A] ?? nonsense\n")
+
+    def test_forbidden_constructs_rejected(self):
+        for expr in ("__import__('os')", "open('/etc/passwd')", "eval('1')"):
+            with pytest.raises(CustomizationError):
+                parse_customization(
+                    f"$$TypeInference\nX (value): {{ return {expr} }}\n"
+                )
+
+    def test_figure6_sample_parses(self):
+        """The literal shape shown in Figure 6 of the paper."""
+        text = (
+            "$$TypeDeclaration\n"
+            "MyType\n"
+            "$$TypeInference\n"
+            "MyType (value): { return True }\n"
+            "$$TypeValidation\n"
+            "MyType (value): { return True }\n"
+            "$$TypeOperator\n"
+            "MyType : Operator '<'\n"
+            "lt (v1,v2): { return True }\n"
+            "$$Template\n"
+            "[A] < [B] <MyType, MyType> -- 90%\n"
+        )
+        custom = parse_customization(text)
+        assert custom.type_names == ["MyType"]
+
+
+class TestMethodExecution:
+    def test_method_arguments(self):
+        custom = parse_customization(
+            "$$TypeInference\nT (value): { return value.upper() }\n"
+        )
+        assert custom.inference_methods["T"]("abc") == "ABC"
+
+    def test_wrong_arity_raises(self):
+        custom = parse_customization(
+            "$$TypeInference\nT (value): { return value }\n"
+        )
+        with pytest.raises(TypeError):
+            custom.inference_methods["T"]("a", "b")
+
+    def test_environment_access(self, image):
+        custom = parse_customization(
+            "$$TypeValidation\nT (value): { return value in FS.FileList }\n"
+        )
+        method = custom.validation_methods["T"]
+        env = environment_namespace(image)
+        assert method("/srv/www", _env=env)
+        assert not method("/nope", _env=env)
+
+
+class TestEnvironmentNamespace:
+    def test_table7_structures_present(self, image):
+        env = environment_namespace(image)
+        assert set(env) == {"FS", "Acct", "Service", "Env", "Sec", "HW"}
+        assert "/srv/www" in env["FS"].FileList
+        assert "root" in env["Acct"].UserList
+        assert 22 in env["Service"].Ports
+        assert env["Sec"].SELinux == "absent"
+
+    def test_dormant_image_env_vars_empty(self, image):
+        env = environment_namespace(image)
+        assert env["Env"].VarValueMap == {}
+
+    def test_unavailable_hardware_is_none(self, image):
+        env = environment_namespace(image)
+        assert env["HW"].Cores is None
+
+    def test_none_image(self):
+        assert environment_namespace(None) == {}
+
+
+class TestApplication:
+    def test_apply_to_type_registry(self, image):
+        custom = parse_customization(SAMPLE)
+        registry = TypeRegistry()
+        custom.apply_to_type_registry(registry)
+        inferencer = TypeInferencer(registry)
+        # /srv/www matches the custom syntactic check AND exists.
+        assert inferencer.infer("/srv/www", image) is not ConfigType.FILE_PATH
+
+    def test_missing_inference_method_raises(self):
+        custom = Customization(type_names=["X"])
+        with pytest.raises(CustomizationError):
+            custom.apply_to_type_registry(TypeRegistry())
+
+    def test_apply_to_augmenter(self, image):
+        custom = parse_customization(SAMPLE)
+        augmenter = Augmenter()
+        custom.apply_to_augmenter(augmenter)
+        # The custom type name is not a predefined ConfigType, so its
+        # carrier is String; augment a String value to trigger it.
+        attrs = augmenter.augment("/srv/www", ConfigType.STRING, image)
+        assert any(a.suffix == "Depth" and a.value == "2" for a in attrs)
+
+    def test_missing_augment_method_raises(self):
+        custom = Customization(
+            augment_declarations=[("X", "Y", "Number")]
+        )
+        with pytest.raises(CustomizationError):
+            custom.apply_to_augmenter(Augmenter())
+
+    def test_build_templates(self, image):
+        custom = parse_customization(SAMPLE)
+        templates = custom.build_templates()
+        assert len(templates) == 1
+        template = templates[0]
+        from repro.core.dataset import AssembledSystem
+        from repro.core.types import TypedValue
+
+        system = AssembledSystem(image)
+        assert template.validate(
+            TypedValue("/a", ConfigType.STRING), TypedValue("/ab", ConfigType.STRING),
+            system,
+        ) is True
+
+    def test_template_without_operator_raises(self):
+        custom = parse_customization("$$Template\n[A] < [B] <X, X>\n")
+        with pytest.raises(CustomizationError):
+            custom.build_templates()

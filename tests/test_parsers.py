@@ -1,0 +1,228 @@
+"""Tests for the configuration-file parsers."""
+
+import pytest
+
+from repro.parsers.apache import ApacheParser
+from repro.parsers.base import ConfigEntry, ConfigParseError, dedupe_occurrences
+from repro.parsers.keyvalue import KeyValueParser
+from repro.parsers.mysql import MySQLParser
+from repro.parsers.php import PHPIniParser
+from repro.parsers.registry import ParserRegistry, default_registry
+from repro.parsers.sshd import SSHDParser
+
+
+def by_name(entries, name):
+    return [e for e in entries if e.name == name]
+
+
+class TestConfigEntry:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ConfigEntry("a", "", "v")
+
+    def test_qualified_name(self):
+        assert ConfigEntry("mysql", "mysqld/port", "3306").qualified_name == "mysql:mysqld/port"
+
+    def test_with_value(self):
+        entry = ConfigEntry("php", "engine", "On", "/etc/php.ini", 3)
+        copy = entry.with_value("Off")
+        assert copy.value == "Off" and copy.line == 3 and copy.name == "engine"
+
+    def test_dedupe_occurrences(self):
+        entries = [
+            ConfigEntry("a", "X", "1"),
+            ConfigEntry("a", "X", "2"),
+            ConfigEntry("a", "Y", "3"),
+        ]
+        deduped = dedupe_occurrences(entries)
+        assert [e.occurrence for e in deduped] == [0, 1, 0]
+
+
+class TestApacheParser:
+    def test_simple_directives(self):
+        entries = ApacheParser().parse_text("ServerRoot /etc/httpd\nTimeout 60\n")
+        assert by_name(entries, "ServerRoot")[0].value == "/etc/httpd"
+        assert by_name(entries, "Timeout")[0].value == "60"
+
+    def test_comments_and_blanks_skipped(self):
+        entries = ApacheParser().parse_text("# comment\n\nKeepAlive On # tail\n")
+        assert len(entries) == 1
+        assert entries[0].value == "On"
+
+    def test_nested_sections(self):
+        text = (
+            "<VirtualHost *:80>\n"
+            "  DocumentRoot /srv/www\n"
+            "  <Directory /srv/www>\n"
+            "    Options None\n"
+            "  </Directory>\n"
+            "</VirtualHost>\n"
+        )
+        entries = ApacheParser().parse_text(text)
+        names = {e.name for e in entries}
+        assert "VirtualHost/DocumentRoot" in names
+        assert "VirtualHost/Directory/Options" in names
+        assert "VirtualHost/VirtualHost.arg" in names
+
+    def test_section_argument_recorded(self):
+        entries = ApacheParser().parse_text("<Directory /var/www>\n</Directory>\n")
+        args = by_name(entries, "Directory/Directory.arg")
+        assert args and args[0].value == "/var/www"
+
+    def test_unbalanced_section_raises(self):
+        with pytest.raises(ConfigParseError):
+            ApacheParser().parse_text("<Directory /x>\n")
+        with pytest.raises(ConfigParseError):
+            ApacheParser().parse_text("</Directory>\n")
+
+    def test_mismatched_close_raises(self):
+        with pytest.raises(ConfigParseError):
+            ApacheParser().parse_text("<Directory /x>\n</VirtualHost>\n")
+
+    def test_multiarg_directive_gets_arg_columns(self):
+        entries = ApacheParser().parse_text(
+            "LoadModule ssl_module modules/mod_ssl.so\n"
+        )
+        assert by_name(entries, "LoadModule/arg1")[0].value == "ssl_module"
+        assert by_name(entries, "LoadModule/arg2")[0].value == "modules/mod_ssl.so"
+
+    def test_repeated_directives_numbered(self):
+        text = "LoadModule a_module m/a.so\nLoadModule b_module m/b.so\n"
+        entries = ApacheParser().parse_text(text)
+        loads = by_name(entries, "LoadModule")
+        assert [e.occurrence for e in loads] == [0, 1]
+
+    def test_quoted_values_unquoted(self):
+        entries = ApacheParser().parse_text('ServerAdmin "admin@example.com"\n')
+        assert entries[0].value == "admin@example.com"
+
+    def test_line_numbers(self):
+        entries = ApacheParser().parse_text("# c\nTimeout 5\n")
+        assert by_name(entries, "Timeout")[0].line == 2
+
+
+class TestMySQLParser:
+    def test_sections_prefix_names(self):
+        entries = MySQLParser().parse_text("[mysqld]\ndatadir = /var/lib/mysql\n")
+        assert entries[0].name == "mysqld/datadir"
+        assert entries[0].section == "mysqld"
+
+    def test_dash_normalisation(self):
+        entries = MySQLParser().parse_text("[mysqld]\nskip-networking\n")
+        assert entries[0].name == "mysqld/skip_networking"
+        assert entries[0].value == "ON"
+
+    def test_bare_flag_value(self):
+        entries = MySQLParser().parse_text("[mysqldump]\nquick\n")
+        assert entries[0].value == "ON"
+
+    def test_comments_both_styles(self):
+        entries = MySQLParser().parse_text("# a\n; b\n[mysqld]\nport = 3306 # inline\n")
+        assert len(entries) == 1
+        assert entries[0].value == "3306"
+
+    def test_empty_key_raises(self):
+        with pytest.raises(ConfigParseError):
+            MySQLParser().parse_text("[mysqld]\n= value\n")
+
+    def test_no_section_entries(self):
+        entries = MySQLParser().parse_text("user = mysql\n")
+        assert entries[0].name == "user"
+        assert entries[0].section is None
+
+    def test_case_normalisation(self):
+        entries = MySQLParser().parse_text("[MYSQLD]\nPort = 3306\n")
+        assert entries[0].name == "mysqld/port"
+
+
+class TestPHPIniParser:
+    def test_directive_parsing(self):
+        entries = PHPIniParser().parse_text("[PHP]\nmemory_limit = 128M\n")
+        assert entries[0].name == "memory_limit"
+        assert entries[0].value == "128M"
+        assert entries[0].section == "PHP"
+
+    def test_section_not_in_name(self):
+        entries = PHPIniParser().parse_text("[Session]\nsession.save_path = /tmp\n")
+        assert entries[0].name == "session.save_path"
+
+    def test_semicolon_comments(self):
+        entries = PHPIniParser().parse_text("; note\nengine = On ; tail\n")
+        assert len(entries) == 1 and entries[0].value == "On"
+
+    def test_missing_equals_raises(self):
+        with pytest.raises(ConfigParseError):
+            PHPIniParser().parse_text("engine On\n")
+
+    def test_empty_value_allowed(self):
+        entries = PHPIniParser().parse_text("error_log =\n")
+        assert entries[0].value == ""
+
+    def test_lowercase_names(self):
+        entries = PHPIniParser().parse_text("Memory_Limit = 1M\n")
+        assert entries[0].name == "memory_limit"
+
+
+class TestSSHDParser:
+    def test_keyword_lines(self):
+        entries = SSHDParser().parse_text("Port 22\nPermitRootLogin no\n")
+        assert entries[0].name == "Port" and entries[0].value == "22"
+
+    def test_keyword_case_canonicalised(self):
+        entries = SSHDParser().parse_text("port 2222\n")
+        assert entries[0].name == "Port"
+
+    def test_match_block_scoping(self):
+        text = "PasswordAuthentication no\nMatch User deploy\nPasswordAuthentication yes\n"
+        entries = SSHDParser().parse_text(text)
+        names = [e.name for e in entries]
+        assert "PasswordAuthentication" in names
+        assert "Match/PasswordAuthentication" in names
+
+    def test_repeated_hostkeys(self):
+        text = "HostKey /etc/ssh/a\nHostKey /etc/ssh/b\n"
+        entries = SSHDParser().parse_text(text)
+        assert [e.occurrence for e in entries] == [0, 1]
+
+    def test_keyword_without_value(self):
+        entries = SSHDParser().parse_text("UsePAM\n")
+        assert entries[0].value == ""
+
+
+class TestKeyValueParser:
+    def test_equals_colon_space(self):
+        parser = KeyValueParser(app="custom")
+        for text in ("a = 1\n", "a: 1\n", "a 1\n"):
+            entries = parser.parse_text(text)
+            assert entries[0].name == "a" and entries[0].value == "1"
+            assert entries[0].app == "custom"
+
+    def test_value_free_line(self):
+        entries = KeyValueParser().parse_text("flag\n")
+        assert entries[0].name == "flag" and entries[0].value == ""
+
+
+class TestParserRegistry:
+    def test_default_registry_covers_studied_apps(self):
+        registry = default_registry()
+        assert set(registry.known_apps()) == {"apache", "mysql", "php", "sshd"}
+
+    def test_fallback_to_generic(self):
+        registry = default_registry()
+        entries = registry.parse("redis", "maxmemory 1gb\n")
+        assert entries[0].app == "redis"
+
+    def test_strict_registry_raises(self):
+        registry = ParserRegistry(fallback_to_generic=False)
+        with pytest.raises(KeyError):
+            registry.get("unknown")
+
+    def test_register_without_name_raises(self):
+        registry = ParserRegistry()
+        with pytest.raises(ValueError):
+            registry.register(KeyValueParser(app=""))
+
+    def test_source_path_stamped(self):
+        registry = default_registry()
+        entries = registry.parse("php", "engine = On\n", source_path="/etc/php.ini")
+        assert entries[0].source_path == "/etc/php.ini"

@@ -1,0 +1,108 @@
+"""Tests for full model-snapshot persistence."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    DatasetSummary,
+    load_model_snapshot,
+    model_to_dict,
+    save_model,
+    summary_from_dict,
+)
+from repro.core.pipeline import EnCore
+
+
+class TestSnapshotRoundtrip:
+    def test_serialisable(self, trained_encore):
+        data = model_to_dict(trained_encore.model)
+        text = json.dumps(data)
+        assert "rules" in json.loads(text)
+
+    def test_roundtrip_preserves_stats(self, trained_encore, tmp_path):
+        path = save_model(trained_encore.model, tmp_path / "model.json")
+        summary, rules = load_model_snapshot(path)
+        dataset = trained_encore.model.dataset
+        assert len(summary) == len(dataset)
+        assert summary.attributes() == dataset.attributes()
+        assert len(rules) == trained_encore.model.rule_count
+        for attribute in dataset.attributes()[:20]:
+            original = dataset.stats(attribute)
+            restored = summary.stats(attribute)
+            assert restored.type is original.type
+            assert restored.value_counts == original.value_counts
+            assert restored.entropy == pytest.approx(original.entropy)
+            assert restored.type_agreement == pytest.approx(original.type_agreement)
+
+    def test_entry_names_preserved(self, trained_encore, tmp_path):
+        path = save_model(trained_encore.model, tmp_path / "model.json")
+        summary, _ = load_model_snapshot(path)
+        assert summary.entry_names() == trained_encore.model.dataset.entry_names()
+
+    def test_augmented_marker_preserved(self, trained_encore, tmp_path):
+        path = save_model(trained_encore.model, tmp_path / "model.json")
+        summary, _ = load_model_snapshot(path)
+        assert summary.is_augmented("mysql:mysqld/datadir.owner")
+        assert not summary.is_augmented("mysql:mysqld/datadir")
+        assert summary.is_augmented("env:OS.DistName")
+
+    def test_version_check(self, trained_encore):
+        data = model_to_dict(trained_encore.model)
+        data["version"] = 42
+        with pytest.raises(ValueError):
+            summary_from_dict(data)
+
+
+class TestCheckingFromSnapshot:
+    def test_check_without_training(self, trained_encore, tmp_path, held_out_image):
+        """The headline property: ship the snapshot, check anywhere."""
+        path = trained_encore.save_model(tmp_path / "model.json")
+        fresh = EnCore()
+        fresh.load_model(path)
+        report = fresh.check(held_out_image)
+        reference = trained_encore.check(held_out_image)
+        assert [w.attribute for w in report.warnings] == [
+            w.attribute for w in reference.warnings
+        ]
+
+    def test_snapshot_detects_defects(self, trained_encore, tmp_path, held_out_image):
+        path = trained_encore.save_model(tmp_path / "model.json")
+        fresh = EnCore()
+        fresh.load_model(path)
+        broken = held_out_image.copy("snap-broken")
+        datadir = None
+        for line in broken.config_file("mysql").text.splitlines():
+            if line.strip().startswith("datadir"):
+                datadir = line.split("=", 1)[1].strip()
+        broken.fs.chown(datadir, owner="root", group="root")
+        report = fresh.check(broken)
+        assert report.rank_of_attribute("mysqld/datadir") is not None
+
+    def test_save_requires_model(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            EnCore().save_model(tmp_path / "x.json")
+
+
+class TestCliModelFlow:
+    def test_train_then_check_with_model(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "corpus"
+        main(["generate", "--out", str(corpus), "--count", "20", "--seed", "3"])
+        model_path = tmp_path / "model.json"
+        rc = main([
+            "train", "--training", str(corpus), "--model", str(model_path),
+        ])
+        assert rc == 0 and model_path.exists()
+        target = sorted(corpus.glob("*.json"))[0]
+        rc = main(["check", "--model", str(model_path), "--target", str(target)])
+        out = capsys.readouterr().out
+        assert "model snapshot loaded" in out
+        assert "EnCore report" in out
+
+    def test_check_without_training_or_model_fails(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["check", "--target", str(tmp_path / "x.json")])

@@ -1,0 +1,91 @@
+"""Tests for report JSON export and the per-error-kind detection matrix."""
+
+import json
+
+import pytest
+
+from repro.core.detector import Warning, WarningKind
+from repro.core.report import Report
+from repro.core.rules import ConcreteRule
+from repro.injection.conferr import ConfErrInjector, InjectionKind
+from repro.evaluation.matching import error_detected
+
+
+class TestReportToDict:
+    def make_report(self):
+        rule = ConcreteRule("ownership", "mysql:mysqld/datadir",
+                            "mysql:mysqld/user", "=>", 30, 30)
+        return Report(
+            "img-7",
+            [
+                Warning(WarningKind.CORRELATION, "mysql:mysqld/datadir",
+                        "violates", 3.0, value="/var/lib/mysql", rule=rule),
+                Warning(WarningKind.SUSPICIOUS_VALUE, "php:engine",
+                        "unseen", 1.5, value="Offf"),
+            ],
+        )
+
+    def test_shape(self):
+        data = self.make_report().to_dict()
+        assert data["image_id"] == "img-7"
+        assert data["warning_count"] == 2
+        assert data["warnings"][0]["rank"] == 1
+        assert data["warnings"][0]["kind"] == "correlation_violation"
+        assert data["warnings"][0]["rule"]["template"] == "ownership"
+        assert data["warnings"][1]["rule"] is None
+
+    def test_json_serialisable(self):
+        text = json.dumps(self.make_report().to_dict())
+        restored = json.loads(text)
+        assert restored["warnings"][0]["attribute"] == "mysql:mysqld/datadir"
+
+    def test_empty_report(self):
+        data = Report("clean", []).to_dict()
+        assert data["warning_count"] == 0
+        assert data["warnings"] == []
+
+
+class TestPerKindDetection:
+    """Which detector sees which injected error kind (the Table 8 story,
+    pinned mechanically per kind)."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, small_corpus, held_out_image):
+        from repro.baselines import EnvAugmentedBaseline, ValueComparisonBaseline
+        from repro.core.pipeline import EnCore
+
+        detectors = {
+            "baseline": ValueComparisonBaseline(),
+            "env": EnvAugmentedBaseline(),
+            "encore": EnCore(),
+        }
+        for detector in detectors.values():
+            detector.train(small_corpus)
+        return detectors, held_out_image
+
+    def _coverage(self, setup, kind, count=6):
+        detectors, held = setup
+        broken, errors = ConfErrInjector(seed=9).inject(
+            held, "mysql", count=count, kinds=[kind]
+        )
+        out = {}
+        for name, detector in detectors.items():
+            report = detector.check(broken)
+            out[name] = sum(error_detected(report, e) for e in errors)
+        return out, len(errors)
+
+    def test_wrong_path_gradient(self, setup):
+        """Paths: baseline blind, env-aware detectors see them (§7.1.1)."""
+        coverage, total = self._coverage(setup, InjectionKind.WRONG_PATH)
+        assert coverage["baseline"] < total
+        assert coverage["env"] >= coverage["baseline"]
+        assert coverage["encore"] >= total - 1
+
+    def test_typo_name_caught_by_all(self, setup):
+        coverage, total = self._coverage(setup, InjectionKind.TYPO_NAME, count=4)
+        assert coverage["baseline"] >= total - 1
+        assert coverage["encore"] >= total - 1
+
+    def test_order_violation_needs_correlations(self, setup):
+        coverage, total = self._coverage(setup, InjectionKind.ORDER_VIOLATION)
+        assert coverage["encore"] >= coverage["baseline"]

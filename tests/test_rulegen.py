@@ -1,0 +1,80 @@
+"""Tests for rule-guided test generation (the §8 extension)."""
+
+import pytest
+
+from repro.testing.rulegen import GeneratedTest, RuleGuidedTestGenerator
+
+
+@pytest.fixture(scope="module")
+def generated(trained_encore, held_out_image):
+    generator = RuleGuidedTestGenerator(trained_encore.model)
+    target = trained_encore.assembler.assemble(held_out_image)
+    tests = generator.generate(held_out_image, target, max_tests=40)
+    return trained_encore, held_out_image, tests
+
+
+class TestGeneration:
+    def test_produces_tests(self, generated):
+        _, _, tests = generated
+        assert len(tests) >= 10
+
+    def test_both_mutation_kinds_present(self, generated):
+        """EnCore contributes *environment* injections, which ConfErr
+        cannot produce — the §8 point."""
+        _, _, tests = generated
+        kinds = {t.mutation_kind for t in tests}
+        assert "environment" in kinds
+        assert "config" in kinds
+
+    def test_each_test_targets_a_learned_rule(self, generated):
+        encore, _, tests = generated
+        learned = {r.key for r in encore.model.rules}
+        for test in tests:
+            assert test.rule.key in learned
+
+    def test_mutants_are_copies(self, generated):
+        _, seed, tests = generated
+        for test in tests[:5]:
+            assert test.image.image_id != seed.image_id
+
+    def test_max_tests_respected(self, trained_encore, held_out_image):
+        generator = RuleGuidedTestGenerator(trained_encore.model)
+        target = trained_encore.assembler.assemble(held_out_image)
+        tests = generator.generate(held_out_image, target, max_tests=3)
+        assert len(tests) == 3
+
+    def test_str_mentions_kind(self, generated):
+        _, _, tests = generated
+        assert any(t.mutation_kind in str(t) for t in tests)
+
+
+class TestOracle:
+    def test_mutants_violate_their_target_rule(self, generated):
+        """The detector flags the targeted rule on (almost) every mutant.
+
+        A small tolerance is allowed: a mutation can knock out the rule's
+        applicability (e.g. a desynchronised value changes the column's
+        inferred type).
+        """
+        encore, _, tests = generated
+        sample = tests[:20]
+        hits = 0
+        for test in sample:
+            report = encore.check(test.image)
+            if any(
+                w.rule is not None and w.rule.key == test.rule.key
+                for w in report.warnings
+            ):
+                hits += 1
+        assert hits >= len(sample) * 0.7
+
+    def test_environment_mutants_flag_rule(self, generated):
+        encore, _, tests = generated
+        env_tests = [t for t in tests if t.mutation_kind == "environment"][:5]
+        assert env_tests
+        for test in env_tests:
+            report = encore.check(test.image)
+            assert any(
+                w.rule is not None and w.rule.key == test.rule.key
+                for w in report.warnings
+            ), test.description

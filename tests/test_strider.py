@@ -1,0 +1,60 @@
+"""Tests for the Strider-style known-good-state baseline."""
+
+import pytest
+
+from repro.baselines.strider import StriderBaseline
+
+
+@pytest.fixture(scope="module")
+def strider(small_corpus):
+    baseline = StriderBaseline()
+    baseline.train(small_corpus, reference=small_corpus[0])
+    return baseline
+
+
+class TestStrider:
+    def test_requires_training(self, held_out_image):
+        with pytest.raises(RuntimeError):
+            StriderBaseline().check(held_out_image)
+
+    def test_requires_peers(self):
+        with pytest.raises(ValueError):
+            StriderBaseline().train([])
+
+    def test_reference_is_clean_against_itself(self, strider, small_corpus):
+        report = strider.check(small_corpus[0])
+        assert len(report.warnings) == 0
+
+    def test_change_frequency_zero_for_constant(self, strider):
+        assert strider.change_frequency("mysql:mysqld/user") == 0.0
+
+    def test_change_frequency_high_for_paths(self, strider):
+        # Paths vary across images thanks to deploy customisation.
+        assert strider.change_frequency("php:extension_dir") > 0.2
+
+    def test_unknown_attribute_full_churn(self, strider):
+        assert strider.change_frequency("nope:entry") == 1.0
+
+    def test_detects_stable_entry_drift(self, strider, held_out_image):
+        broken = held_out_image.copy("s1")
+        text = broken.config_file("mysql").text.replace(
+            "user = mysql", "user = masql"
+        )
+        broken.replace_config_text("mysql", text)
+        report = strider.check(broken)
+        assert report.rank_of_attribute("mysqld/user") is not None
+
+    def test_churny_differences_filtered(self, strider, held_out_image):
+        """Path entries differ from the reference on most systems, but
+        Strider's change-frequency filter keeps them out of the report —
+        the weakness EnCore's environment typing overcomes."""
+        report = strider.check(held_out_image)
+        assert all(
+            "datadir" not in w.attribute or w.kind.value == "entry_name_violation"
+            for w in report.warnings
+        )
+
+    def test_ranked_output(self, strider, held_out_image):
+        report = strider.check(held_out_image)
+        scores = [w.score for w in report.warnings]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,182 @@
+"""Tests for the semantic type system (paper Table 4, §4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import (
+    ConfigType,
+    TypeDefinition,
+    TypeInferencer,
+    TypeRegistry,
+    parse_number,
+    parse_size_bytes,
+)
+from repro.sysmodel.image import SystemImage
+
+
+@pytest.fixture()
+def env_image():
+    image = SystemImage("types-img")
+    image.accounts.ensure_service_account("mysql", 27)
+    image.fs.add_dir("/var/lib/mysql", owner="mysql")
+    image.fs.add_file("/etc/php.ini")
+    image.fs.add_file("/etc/httpd/modules/mod_ssl.so")
+    return image
+
+
+@pytest.fixture()
+def inferencer():
+    return TypeInferencer()
+
+
+class TestParsers:
+    @pytest.mark.parametrize(
+        "literal,expected",
+        [
+            ("0", 0),
+            ("1024", 1024),
+            ("8K", 8 << 10),
+            ("64M", 64 << 20),
+            ("2G", 2 << 30),
+            ("1T", 1 << 40),
+            ("64m", 64 << 20),
+            ("16MB", 16 << 20),
+        ],
+    )
+    def test_parse_size(self, literal, expected):
+        assert parse_size_bytes(literal) == expected
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12X", "-5M", "1.5G"])
+    def test_parse_size_rejects(self, bad):
+        assert parse_size_bytes(bad) is None
+
+    def test_parse_number(self):
+        assert parse_number("12") == 12.0
+        assert parse_number("-3.5") == -3.5
+        assert parse_number("x") is None
+
+
+class TestSyntacticInference:
+    """Step 1 only — no environment."""
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("http://example.com/x", ConfigType.URL),
+            ("10.0.0.1", ConfigType.IP_ADDRESS),
+            ("::1", ConfigType.IP_ADDRESS),
+            ("text/html", ConfigType.MIME_TYPE),
+            ("64M", ConfigType.SIZE),
+            ("on", ConfigType.BOOLEAN),
+            ("Off", ConfigType.BOOLEAN),
+            ("0", ConfigType.BOOLEAN),  # the deliberate Table 11 confusion
+            ("12345678", ConfigType.NUMBER),
+            ("", ConfigType.STRING),
+        ],
+    )
+    def test_no_environment(self, inferencer, value, expected):
+        assert inferencer.infer(value, None) is expected
+
+    def test_syntactic_only_path(self, inferencer):
+        assert inferencer.infer_syntactic_only("/no/such/path") is ConfigType.FILE_PATH
+
+
+class TestSemanticVerification:
+    """Step 2 — environment-checked."""
+
+    def test_existing_path_is_filepath(self, inferencer, env_image):
+        assert inferencer.infer("/var/lib/mysql", env_image) is ConfigType.FILE_PATH
+
+    def test_missing_path_demoted(self, inferencer, env_image):
+        # Syntactically a path, but absent from the filesystem.
+        assert inferencer.infer("/does/not/exist", env_image) is ConfigType.STRING
+
+    def test_glob_is_not_a_path(self, inferencer, env_image):
+        assert inferencer.infer("/var/lib/*", env_image) is ConfigType.STRING
+
+    def test_known_user(self, inferencer, env_image):
+        assert inferencer.infer("mysql", env_image) is ConfigType.USER_NAME
+
+    def test_unknown_user_demoted(self, inferencer, env_image):
+        assert inferencer.infer("ghostuser", env_image) is ConfigType.STRING
+
+    def test_registered_port(self, inferencer, env_image):
+        assert inferencer.infer("3306", env_image) is ConfigType.PORT_NUMBER
+
+    def test_out_of_range_port(self, inferencer, env_image):
+        assert inferencer.infer("99999", env_image) is ConfigType.NUMBER
+
+    def test_partial_path_verified_against_fs(self, inferencer, env_image):
+        assert inferencer.infer("modules/mod_ssl.so", env_image) is ConfigType.PARTIAL_FILE_PATH
+
+    def test_partial_path_unverified(self, inferencer, env_image):
+        assert inferencer.infer("modules/none.so", env_image) is not ConfigType.PARTIAL_FILE_PATH
+
+    def test_filename_verified(self, inferencer, env_image):
+        assert inferencer.infer("php.ini", env_image) is ConfigType.FILE_NAME
+
+    def test_charset(self, inferencer, env_image):
+        assert inferencer.infer("utf8", env_image) is ConfigType.CHARSET
+
+    def test_language(self, inferencer, env_image):
+        assert inferencer.infer("de", env_image) is ConfigType.LANGUAGE
+
+    def test_bad_ipv4_octets(self, inferencer, env_image):
+        assert inferencer.infer("999.1.1.1", env_image) is not ConfigType.IP_ADDRESS
+
+
+class TestVerify:
+    def test_verify_respects_environment(self, inferencer, env_image):
+        assert inferencer.verify("/var/lib/mysql", ConfigType.FILE_PATH, env_image)
+        assert not inferencer.verify("/missing", ConfigType.FILE_PATH, env_image)
+
+    def test_trivial_types_always_pass(self, inferencer, env_image):
+        assert inferencer.verify("anything", ConfigType.STRING, env_image)
+        assert inferencer.verify("anything", ConfigType.NUMBER, env_image)
+
+    def test_permission_type(self, inferencer):
+        assert inferencer.verify("644", ConfigType.PERMISSION, None)
+        assert inferencer.verify("0750", ConfigType.PERMISSION, None)
+        assert not inferencer.verify("999", ConfigType.PERMISSION, None)
+
+    def test_enum_always_passes(self, inferencer):
+        assert inferencer.verify("dir", ConfigType.ENUM, None)
+
+
+class TestCustomTypes:
+    def test_custom_registered_first(self, env_image):
+        registry = TypeRegistry()
+        registry.register(
+            TypeDefinition(
+                ConfigType.URL,  # reuse the carrier, custom matcher
+                syntactic=lambda v: v.startswith("custom:"),
+                description="custom scheme",
+            )
+        )
+        inferencer = TypeInferencer(registry)
+        assert inferencer.infer("custom:abc", env_image) is ConfigType.URL
+
+    def test_definition_for(self):
+        registry = TypeRegistry()
+        assert registry.definition_for(ConfigType.FILE_PATH) is not None
+        assert registry.definition_for(ConfigType.ENUM) is None
+
+
+@given(st.text(max_size=30))
+def test_inference_total_function(value):
+    """Inference never raises, whatever the value looks like."""
+    inferencer = TypeInferencer()
+    result = inferencer.infer(value, None)
+    assert isinstance(result, ConfigType)
+
+
+@given(st.integers(min_value=0, max_value=10**7), st.sampled_from(["K", "M", "G", "T"]))
+def test_size_parse_format_consistency(number, unit):
+    from repro.corpus.generator import format_size
+
+    literal = f"{number}{unit}"
+    parsed = parse_size_bytes(literal)
+    assert parsed is not None
+    # format_size returns the shortest exact representation; reparsing it
+    # must give the same byte count.
+    assert parse_size_bytes(format_size(parsed)) == parsed
