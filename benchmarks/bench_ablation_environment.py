@@ -36,7 +36,7 @@ def test_ablation_environment_integration(benchmark, results_dir):
 
     with_env, without_env = run_once(benchmark, run)
     text = (
-        f"Table 9 cases detected (of 10):\n"
+        "Table 9 cases detected (of 10):\n"
         f"  with environment integration    : {len(with_env)}  {sorted(with_env)}\n"
         f"  without environment integration : {len(without_env)}  {sorted(without_env)}\n"
     )

@@ -31,7 +31,7 @@ def test_headline_detection_ratio(benchmark, results_dir):
         ["EnCore / Baseline detection ratios (Table 8 protocol):"]
         + rows
         + [f"  range: {min(ratios):.2f}x - {max(ratios):.2f}x "
-           f"(paper: 1.6x - 3.5x)"]
+           "(paper: 1.6x - 3.5x)"]
     )
     archive(results_dir, "headline_claim", text)
     # Direction: EnCore never loses to the baseline, and beats it

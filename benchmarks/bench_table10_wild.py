@@ -6,7 +6,6 @@ images (37 issues) and 300 private-cloud images (24 issues).  Scores how
 many planted issues the trained model rediscovers per category.
 """
 
-import pytest
 from conftest import archive, run_once
 
 from repro.evaluation.wild import render_table10, run_wild_experiment

@@ -64,7 +64,7 @@ def test_table12_type_restriction_ablation(benchmark, results_dir):
 
     restricted, unrestricted = run_once(benchmark, measure)
     text = (
-        f"candidate (template, A, B) instantiations:\n"
+        "candidate (template, A, B) instantiations:\n"
         f"  type-restricted : {restricted}\n"
         f"  unrestricted    : {unrestricted}\n"
         f"  reduction       : {unrestricted / max(1, restricted):.1f}x"

@@ -99,7 +99,7 @@ class StriderBaseline:
             warnings.append(
                 Warning(
                     WarningKind.SUSPICIOUS_VALUE, attribute,
-                    f"differs from known-good state "
+                    "differs from known-good state "
                     f"({target_value!r} vs {reference_value!r})",
                     icf + (0.5 if stats and stats.cardinality == 1 else 0.0),
                     value=target_value,

@@ -8,13 +8,21 @@ the training set to EnCore together with the system to be checked"):
 * ``check``    — check one snapshot against a training directory (and
   optionally a saved rule file), print the ranked report;
 * ``suggest``  — same as check, plus remediation suggestions;
-* ``audit``    — sweep a directory of snapshots and summarise findings.
+* ``audit``    — sweep a directory of snapshots and summarise findings;
+* ``stats``    — train (and optionally check), then print the per-stage
+  timing / coverage telemetry table.
+
+Every subcommand accepts the observability options: ``-v``/``-q`` set
+the structured-log verbosity, ``--trace FILE`` saves a nested-span JSON
+trace of the run, and ``--metrics FILE`` (``-`` for stdout) dumps the
+metrics-registry snapshot.
 
 Example::
 
     python -m repro generate --out corpus/ --count 60 --seed 7
     python -m repro train --training corpus/ --rules rules.json
     python -m repro check --training corpus/ --target corpus/ami-070000.json
+    python -m repro stats --training corpus/ --trace trace.json
 """
 
 from __future__ import annotations
@@ -28,8 +36,13 @@ from repro.core.pipeline import EnCore, EnCoreConfig
 from repro.core.repair import RepairAdvisor
 from repro.corpus.generator import Ec2CorpusGenerator
 from repro.corpus.private_cloud import PrivateCloudGenerator
+from repro.obs import configure as configure_logging
+from repro.obs import get_logger, get_registry, render_stats, reset_registry
+from repro.obs.tracing import Tracer, set_tracer
 from repro.sysmodel.image import SystemImage
 from repro.sysmodel.snapshot import load_image, save_image
+
+log = get_logger("cli")
 
 
 def _load_corpus(directory: Optional[Path]) -> List[SystemImage]:
@@ -58,6 +71,14 @@ def _train(args: argparse.Namespace, encore: EnCore) -> None:
     images = _load_corpus(Path(args.training) if args.training else None)
     model = encore.train(images)
     summary = model.summary()
+    log.info(
+        "model.trained",
+        systems=summary["training_systems"],
+        attributes=summary["attributes"],
+        rules=summary["rules"],
+        candidate_pairs=summary["candidate_pairs"],
+        infer_seconds=round(model.telemetry.get("infer_seconds", 0.0), 3),
+    )
     print(
         f"trained on {summary['training_systems']} systems: "
         f"{summary['attributes']} attributes, {summary['rules']} rules"
@@ -83,9 +104,11 @@ def cmd_train(args: argparse.Namespace) -> int:
     _train(args, encore)
     if args.rules:
         encore.save_rules(args.rules)
+        log.info("rules.saved", path=args.rules)
         print(f"rules saved to {args.rules}")
     if args.model:
         encore.save_model(args.model)
+        log.info("model.saved", path=args.model)
         print(f"model snapshot saved to {args.model}")
     return 0
 
@@ -96,11 +119,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         # A model snapshot replaces training entirely: the checking side
         # needs no corpus ("the learned rules can be reused", paper S3).
         encore.load_model(args.model)
+        log.info("model.loaded", path=args.model)
         print(f"model snapshot loaded from {args.model}")
     else:
         _train(args, encore)
         if args.rules:
             encore.load_rules(args.rules)
+            log.info("rules.loaded", path=args.rules)
             print(f"rules loaded from {args.rules}")
     target = load_image(Path(args.target))
     report = encore.check(target)
@@ -153,7 +178,41 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Train (and optionally check targets), then print the telemetry table."""
+    encore = _build_encore(args)
+    _train(args, encore)
+    if args.targets:
+        for image in _load_corpus(Path(args.targets)):
+            report = encore.check(image)
+            log.debug("target.checked", image=image.image_id,
+                      warnings=len(report.warnings))
+    registry = get_registry()
+    if args.format == "json":
+        print(registry.to_json())
+    elif args.format == "prometheus":
+        print(registry.to_prometheus(), end="")
+    else:
+        print()
+        print(render_stats(registry), end="")
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="increase log verbosity (-v info, -vv debug)")
+    group.add_argument("-q", "--quiet", action="store_true",
+                       help="errors only")
+    group.add_argument("--log-json", action="store_true",
+                       help="emit logs as JSON lines instead of key=value")
+    group.add_argument("--trace", metavar="FILE",
+                       help="write a nested-span JSON trace of this run")
+    group.add_argument("--metrics", metavar="FILE",
+                       help="write the metrics snapshot as JSON ('-' for stdout)")
 
 
 def _add_model_options(parser: argparse.ArgumentParser) -> None:
@@ -176,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a synthetic corpus")
+    _add_obs_options(p)
     p.add_argument("--out", required=True)
     p.add_argument("--count", type=int, default=60)
     p.add_argument("--seed", type=int, default=0)
@@ -183,12 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("train", help="learn rules from a training directory")
+    _add_obs_options(p)
     _add_model_options(p)
     p.add_argument("--rules", help="write learned rules to this JSON file")
     p.add_argument("--model", help="write a full model snapshot (stats + rules)")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("check", help="check one target snapshot")
+    _add_obs_options(p)
     _add_model_options(p)
     p.add_argument("--target", required=True, help="target snapshot (.json)")
     p.add_argument("--rules", help="load rules from this JSON file instead")
@@ -199,24 +261,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("suggest", help="check + remediation suggestions")
+    _add_obs_options(p)
     _add_model_options(p)
     p.add_argument("--target", required=True)
     p.add_argument("--limit", type=int, default=20)
     p.set_defaults(func=cmd_suggest)
 
     p = sub.add_parser("audit", help="sweep a directory of snapshots")
+    _add_obs_options(p)
     _add_model_options(p)
     p.add_argument("--targets", required=True,
                    help="directory of snapshots to audit")
-    p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "stats", help="train (and optionally check) and print telemetry"
+    )
+    _add_obs_options(p)
+    _add_model_options(p)
+    p.add_argument("--targets", help="also check every snapshot in this directory")
+    p.add_argument("--format", choices=["table", "json", "prometheus"],
+                   default="table",
+                   help="telemetry output format (default: table)")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    verbosity = -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)
+    configure_logging(verbosity=verbosity,
+                      json_lines=getattr(args, "log_json", False))
+    reset_registry()
+    tracer: Optional[Tracer] = None
+    if getattr(args, "trace", None):
+        tracer = Tracer()
+        set_tracer(tracer)
+    try:
+        return args.func(args)
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+            tracer.save(args.trace)
+            log.info("trace.saved", path=args.trace, spans=len(tracer.roots))
+        metrics_dest = getattr(args, "metrics", None)
+        if metrics_dest:
+            snapshot = get_registry().to_json()
+            if metrics_dest == "-":
+                print(snapshot)
+            else:
+                dest = Path(metrics_dest)
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                dest.write_text(snapshot + "\n")
+                log.info("metrics.saved", path=metrics_dest)
 
 
 if __name__ == "__main__":

@@ -193,7 +193,7 @@ class Customization:
             if method is None:
                 raise CustomizationError(
                     f"augmented attribute {type_name}.{suffix} lacks a "
-                    f"$$TypeAugment method"
+                    "$$TypeAugment method"
                 )
             config_type = self.custom_config_type(type_name)
             value_type = self.custom_config_type(value_type_name)
@@ -348,7 +348,7 @@ _OPERATOR_HEADER_RX = re.compile(
 
 
 def _parse_operator(custom: Customization, body: str) -> None:
-    lines = [l for l in body.splitlines() if l.strip()]
+    lines = [line for line in body.splitlines() if line.strip()]
     index = 0
     while index < len(lines):
         header = _OPERATOR_HEADER_RX.match(lines[index])

@@ -32,6 +32,8 @@ from repro.core.dataset import AssembledSystem, Dataset
 from repro.core.rules import ConcreteRule, RuleSet
 from repro.core.templates import RuleTemplate, default_templates
 from repro.core.types import TypeInferencer
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 
 class WarningKind(str, Enum):
@@ -98,12 +100,23 @@ class AnomalyDetector:
 
     def detect(self, target: AssembledSystem) -> List[Warning]:
         """All four checks, merged and ranked (highest score first)."""
-        warnings: List[Warning] = []
-        warnings.extend(self.check_entry_names(target))
-        warnings.extend(self.check_correlations(target))
-        warnings.extend(self.check_types(target))
-        warnings.extend(self.check_suspicious_values(target))
-        return self.rank(warnings)
+        with span("detect", image=target.image_id) as s:
+            warnings: List[Warning] = []
+            warnings.extend(self.check_entry_names(target))
+            warnings.extend(self.check_correlations(target))
+            warnings.extend(self.check_types(target))
+            warnings.extend(self.check_suspicious_values(target))
+            with span("detect.rank", warnings=len(warnings)):
+                ranked = self.rank(warnings)
+            s.annotate(warnings=len(ranked))
+        registry = get_registry()
+        registry.counter("detect.targets.total").inc()
+        by_kind: dict = {}
+        for warning in ranked:
+            by_kind[warning.kind.value] = by_kind.get(warning.kind.value, 0) + 1
+        for kind, count in by_kind.items():
+            registry.counter("detect.warnings.total", kind=kind).inc(count)
+        return ranked
 
     @staticmethod
     def rank(warnings: List[Warning]) -> List[Warning]:

@@ -26,6 +26,8 @@ from repro.core.rules import ConcreteRule, RuleSet
 from repro.core.templates import RuleTemplate, default_templates
 from repro.core.types import ConfigType
 from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 
 @dataclass
@@ -138,18 +140,39 @@ class RuleInferencer:
         pre_entropy = RuleSet()
         decisions: Dict[Tuple[str, str, str], FilterDecision] = {}
         pair_count = 0
-        for template in self.templates:
-            for attr_a, attr_b in self._pairs(dataset, template):
-                pair_count += 1
-                rule = self._evaluate_pair(dataset, template, attr_a, attr_b)
-                if rule is None:
-                    continue
-                decision = pipeline.decide(rule, template)
-                decisions[rule.key] = decision
-                if decision in (FilterDecision.KEPT, FilterDecision.LOW_ENTROPY):
-                    pre_entropy.add(rule)
-                if decision is FilterDecision.KEPT:
-                    kept.add(rule)
+        registry = get_registry()
+        with span("infer", templates=len(self.templates)) as infer_span:
+            for template in self.templates:
+                # Telemetry is aggregated per template, never per pair:
+                # the inner loop is the hottest path in learning.
+                t_pairs = t_kept = 0
+                t_drops: Dict[str, int] = {}
+                with span("infer.template", template=template.name) as t_span:
+                    for attr_a, attr_b in self._pairs(dataset, template):
+                        t_pairs += 1
+                        rule = self._evaluate_pair(dataset, template, attr_a, attr_b)
+                        if rule is None:
+                            continue
+                        decision = pipeline.decide(rule, template)
+                        decisions[rule.key] = decision
+                        if decision in (FilterDecision.KEPT, FilterDecision.LOW_ENTROPY):
+                            pre_entropy.add(rule)
+                        if decision is FilterDecision.KEPT:
+                            kept.add(rule)
+                            t_kept += 1
+                        else:
+                            t_drops[decision.value] = t_drops.get(decision.value, 0) + 1
+                    t_span.annotate(pairs=t_pairs, kept=t_kept)
+                pair_count += t_pairs
+                registry.counter(
+                    "infer.pairs.candidate", template=template.name
+                ).inc(t_pairs)
+                registry.counter("infer.rules.kept", template=template.name).inc(t_kept)
+                for reason, dropped in t_drops.items():
+                    registry.counter(
+                        "infer.rules.dropped", template=template.name, reason=reason
+                    ).inc(dropped)
+            infer_span.annotate(pairs=pair_count, kept=len(kept))
         return InferenceResult(
             rules=kept,
             pre_entropy_rules=pre_entropy,

@@ -10,9 +10,9 @@ systems" (§3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.assembler import DataAssembler
 from repro.core.augment import Augmenter
@@ -25,6 +25,7 @@ from repro.core.rules import RuleSet
 from repro.core.templates import RuleTemplate, default_templates
 from repro.core.types import TypeRegistry, default_type_registry
 from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+from repro.obs.tracing import span
 from repro.parsers.registry import ParserRegistry, default_registry
 from repro.sysmodel.image import SystemImage
 
@@ -61,6 +62,9 @@ class TrainedModel:
     rules: RuleSet
     inference: InferenceResult
     templates: Sequence[RuleTemplate]
+    #: Per-stage wall times (seconds) observed while this model was
+    #: trained; empty for models restored from disk.
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     @property
     def rule_count(self) -> int:
@@ -68,12 +72,15 @@ class TrainedModel:
 
     def summary(self) -> dict:
         """Compact training summary (used by benches and examples)."""
-        return {
+        out = {
             "training_systems": len(self.dataset),
             "attributes": len(self.dataset.attributes()),
             "rules": len(self.rules),
             "candidate_pairs": self.inference.candidate_pairs,
         }
+        if self.telemetry:
+            out["telemetry"] = dict(self.telemetry)
+        return out
 
 
 class EnCore:
@@ -132,8 +139,14 @@ class EnCore:
 
     def train(self, images: Iterable[SystemImage]) -> TrainedModel:
         """Assemble the corpus and infer rules (Figure 5 workflow)."""
-        dataset = self.assembler.assemble_corpus(images)
-        return self.train_on_dataset(dataset)
+        with span("train") as train_span:
+            with span("train.assemble") as assemble_span:
+                dataset = self.assembler.assemble_corpus(images)
+            model = self.train_on_dataset(dataset)
+            train_span.annotate(systems=len(dataset), rules=len(model.rules))
+        model.telemetry["assemble_seconds"] = assemble_span.duration
+        model.telemetry["train_seconds"] = train_span.duration
+        return model
 
     def train_on_dataset(self, dataset: Dataset) -> TrainedModel:
         """Infer rules over an already-assembled dataset."""
@@ -147,12 +160,14 @@ class EnCore:
             use_entropy=self.config.use_entropy_filter,
             restrict_types=self.config.restrict_types,
         )
-        result = inferencer.infer(dataset)
+        with span("train.infer") as infer_span:
+            result = inferencer.infer(dataset)
         self.model = TrainedModel(
             dataset=dataset,
             rules=result.rules,
             inference=result,
             templates=self._templates,
+            telemetry={"infer_seconds": infer_span.duration},
         )
         self._detector = AnomalyDetector(
             dataset, result.rules,
@@ -167,8 +182,11 @@ class EnCore:
         """Run the anomaly detector against one target system."""
         if self.model is None or self._detector is None:
             raise RuntimeError("EnCore.check() requires a trained model; call train() first")
-        target = self.assembler.assemble(image)
-        warnings = self._detector.detect(target)
+        with span("check", image=image.image_id) as s:
+            with span("check.assemble"):
+                target = self.assembler.assemble(image)
+            warnings = self._detector.detect(target)
+            s.annotate(warnings=len(warnings))
         return Report(image.image_id, warnings)
 
     def check_many(self, images: Iterable[SystemImage]) -> List[Report]:

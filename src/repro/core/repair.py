@@ -210,7 +210,7 @@ class RepairAdvisor:
         return Suggestion(
             warning, RepairAction.SET_VALUE, warning.attribute,
             f"set to {dominant!r} (used by {count}/{stats.present_count} "
-            f"training systems)",
+            "training systems)",
             frequency,
             "dominant training value",
         )

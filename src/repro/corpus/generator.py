@@ -384,7 +384,6 @@ class Ec2CorpusGenerator:
         self, image: SystemImage, app: str, values: Dict[str, object],
         rng: random.Random,
     ) -> None:
-        fs = image.fs
         user = self._daemon_user(app, values)
         self._ensure_user(image, user)
         entries = {e.name: e for e in app_catalog(app)}

@@ -13,7 +13,6 @@ customised than pristine EC2 templates, and carry fewer latent issues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.generator import (

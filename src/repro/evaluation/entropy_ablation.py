@@ -64,7 +64,7 @@ def run_entropy_ablation(
 def render_table13(results: Sequence[EntropyAblationResult]) -> str:
     lines = [
         f"{'App':8s} {'Original':>9s} {'FP Reduced':>11s} {'FN Introduced':>14s}"
-        f"   (paper O/FP/FN)"
+        "   (paper O/FP/FN)"
     ]
     for result in results:
         paper = PAPER_TABLE13.get(result.app, {})

@@ -94,7 +94,7 @@ def run_all(
 def render_table8(results: List[InjectionExperimentResult]) -> str:
     lines = [
         f"{'App':8s} {'Total':>6s} {'Baseline':>9s} {'Baseline+Env':>13s} {'EnCore':>7s}"
-        f"   (paper: B / B+E / EnCore)"
+        "   (paper: B / B+E / EnCore)"
     ]
     for result in results:
         paper = PAPER_TABLE8.get(result.app, {})

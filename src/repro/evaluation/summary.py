@@ -14,6 +14,8 @@ import time
 from typing import List, Optional
 
 from repro.evaluation.attribute_growth import render_table2, table2_rows
+from repro.obs import configure as configure_logging
+from repro.obs import get_logger
 from repro.evaluation.catalog_study import render_table1, table1_rows
 from repro.evaluation.entropy_ablation import render_table13, run_entropy_ablation
 from repro.evaluation.injection import render_table8, run_injection_experiment
@@ -25,8 +27,11 @@ from repro.evaluation.wild import render_table10, run_wild_experiment
 
 APPS = ("apache", "mysql", "php")
 
+log = get_logger("evaluation.summary")
+
 
 def _section(title: str, body: str) -> None:
+    log.info("table.rendered", table=title.split(" — ")[0])
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{body}")
 
 
@@ -34,6 +39,8 @@ def run_all(training_images: int = 60, wild_images: int = 60,
             mining: bool = True) -> None:
     """Print every table; *training_images* trades fidelity for speed."""
     start = time.time()
+    log.info("run_all.start", training_images=training_images,
+             wild_images=wild_images, mining=mining)
 
     _section("Table 1 — configuration parameter study", render_table1(table1_rows()))
     _section(
@@ -89,7 +96,9 @@ def run_all(training_images: int = 60, wild_images: int = 60,
              for app in APPS]
         ),
     )
-    print(f"\nall tables regenerated in {time.time() - start:.1f}s")
+    elapsed = time.time() - start
+    log.info("run_all.done", seconds=round(elapsed, 1))
+    print(f"\nall tables regenerated in {elapsed:.1f}s")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -101,7 +110,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--wild-images", type=int, default=60)
     parser.add_argument("--skip-mining", action="store_true",
                         help="skip the (slow) Table 3 sweep")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="increase log verbosity (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="errors only")
     args = parser.parse_args(argv)
+    configure_logging(verbosity=-1 if args.quiet else args.verbose)
     run_all(
         training_images=args.training_images,
         wild_images=args.wild_images,

@@ -106,7 +106,7 @@ def run_wild_experiment(
 def render_table10(results: Sequence[WildResult]) -> str:
     lines = [
         f"{'Source':14s} " + "".join(f"{c:>13s}" for c in CATEGORIES) + f" {'Total':>7s}"
-        f"   (paper total)"
+        "   (paper total)"
     ]
     for result in results:
         paper = PAPER_TABLE10.get(result.population, {})

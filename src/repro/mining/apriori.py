@@ -12,6 +12,8 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.mining.itemsets import Item, Itemset, ItemsetBudgetExceeded, TransactionTable
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 
 def apriori(
@@ -28,30 +30,41 @@ def apriori(
     if len(table) == 0:
         return []
     min_count = table.min_count(min_support)
+    registry = get_registry()
 
-    counts = table.item_counts()
-    current: Dict[FrozenSet[Item], int] = {
-        frozenset([item]): count
-        for item, count in counts.items()
-        if count >= min_count
-    }
-    result: List[Itemset] = []
-    total = 0
-    k = 1
-    while current:
-        for items, support in current.items():
-            result.append(Itemset(items, support))
-        total += len(current)
-        if max_itemsets is not None and total > max_itemsets:
-            raise ItemsetBudgetExceeded(max_itemsets, total)
-        if max_len is not None and k >= max_len:
-            break
-        candidates = _generate_candidates(set(current), k + 1)
-        if max_itemsets is not None and total + len(candidates) > 4 * max_itemsets:
-            # Candidate generation itself is the memory hog at scale.
-            raise ItemsetBudgetExceeded(max_itemsets, total + len(candidates))
-        current = _count_candidates(table, candidates, min_count)
-        k += 1
+    with span("mine.apriori", transactions=len(table)) as s:
+        counts = table.item_counts()
+        current: Dict[FrozenSet[Item], int] = {
+            frozenset([item]): count
+            for item, count in counts.items()
+            if count >= min_count
+        }
+        result: List[Itemset] = []
+        total = 0
+        k = 1
+        while current:
+            for items, support in current.items():
+                result.append(Itemset(items, support))
+            total += len(current)
+            registry.counter("mine.passes.total", algo="apriori").inc()
+            registry.counter("mine.itemsets.total", algo="apriori").inc(len(current))
+            s.annotate(itemsets=total, passes=k)
+            if max_itemsets is not None and total > max_itemsets:
+                registry.counter("mine.budget.exceeded", algo="apriori").inc()
+                raise ItemsetBudgetExceeded(max_itemsets, total)
+            if max_len is not None and k >= max_len:
+                break
+            # Each level is one full pass over the data (the reason "Apriori
+            # does not scale", §2.2) — time it separately.
+            with span("mine.apriori.pass", k=k + 1) as pass_span:
+                candidates = _generate_candidates(set(current), k + 1)
+                if max_itemsets is not None and total + len(candidates) > 4 * max_itemsets:
+                    # Candidate generation itself is the memory hog at scale.
+                    registry.counter("mine.budget.exceeded", algo="apriori").inc()
+                    raise ItemsetBudgetExceeded(max_itemsets, total + len(candidates))
+                current = _count_candidates(table, candidates, min_count)
+                pass_span.annotate(candidates=len(candidates), frequent=len(current))
+            k += 1
     return result
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.mining.itemsets import Item, Itemset, ItemsetBudgetExceeded, TransactionTable
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import span
 
 
 class _Node:
@@ -115,19 +117,30 @@ def fpgrowth(
     if len(table) == 0:
         return []
     min_count = table.min_count(min_support)
-    counts = {i: c for i, c in table.item_counts().items() if c >= min_count}
-    if not counts:
-        return []
-    # Descending frequency order (ties broken lexicographically).
-    order = {
-        item: rank
-        for rank, item in enumerate(
-            sorted(counts, key=lambda i: (-counts[i], i))
-        )
-    }
-    tree = FPTree.build(((list(t), 1) for t in table), order)
-    result: List[Itemset] = []
-    _mine(tree, min_count, frozenset(), result, max_len, max_itemsets)
+    registry = get_registry()
+    with span("mine.fpgrowth", transactions=len(table)) as s:
+        counts = {i: c for i, c in table.item_counts().items() if c >= min_count}
+        if not counts:
+            return []
+        # Descending frequency order (ties broken lexicographically).
+        order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(counts, key=lambda i: (-counts[i], i))
+            )
+        }
+        with span("mine.fpgrowth.build") as build_span:
+            tree = FPTree.build(((list(t), 1) for t in table), order)
+            build_span.annotate(nodes=tree.node_count(), items=len(counts))
+        result: List[Itemset] = []
+        try:
+            _mine(tree, min_count, frozenset(), result, max_len, max_itemsets)
+        except ItemsetBudgetExceeded:
+            registry.counter("mine.budget.exceeded", algo="fpgrowth").inc()
+            raise
+        finally:
+            registry.counter("mine.itemsets.total", algo="fpgrowth").inc(len(result))
+            s.annotate(itemsets=len(result))
     return result
 
 

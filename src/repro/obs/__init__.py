@@ -1,0 +1,54 @@
+"""Observability for the EnCore pipeline: metrics, tracing, logging.
+
+Three cooperating layers, all dependency-free:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry` of
+  counters / gauges / histograms; mergeable, JSON- and
+  Prometheus-serialisable;
+* :mod:`repro.obs.tracing` — hierarchical :func:`span` timing with an
+  optional :class:`Tracer` retaining the tree for JSON export;
+* :mod:`repro.obs.logging` — structured (key=value or JSON-lines)
+  loggers behind one :func:`configure` entry point.
+
+Every pipeline stage records into the active registry by default, so any
+``train()`` + ``check()`` run can be inspected after the fact::
+
+    from repro.obs import get_registry, render_stats
+    print(render_stats(get_registry()))
+
+Metric and span names follow ``stage.noun.verb`` — see
+``docs/observability.md`` for the full naming scheme and the mapping
+from paper Tables 2/3 and §7 to metric names.
+"""
+
+from repro.obs.console import render_stats
+from repro.obs.logging import StructuredLogger, configure, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StructuredLogger",
+    "Tracer",
+    "configure",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "render_stats",
+    "reset_registry",
+    "set_registry",
+    "set_tracer",
+    "span",
+]

@@ -1,0 +1,125 @@
+"""Human-readable rendering of a metrics snapshot (``repro stats``).
+
+Turns a :class:`~repro.obs.metrics.MetricsRegistry` into the per-stage
+timing / coverage table the CLI prints: wall times from the ``*.seconds``
+histograms every :func:`repro.obs.tracing.span` feeds, attribute growth
+(the live Table 2), rule-filter accounting (§5.2 / Table 13 inputs), and
+detector output by warning kind.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _fmt_count(value: object) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.2f}"
+    return f"{int(value)}"
+
+
+def _timing_rows(registry: MetricsRegistry) -> List[Tuple[str, int, float, float]]:
+    rows = []
+    for name in registry.names():
+        if not name.endswith(".seconds"):
+            continue
+        for metric in registry.series(name).values():
+            if isinstance(metric, Histogram) and metric.count:
+                stage = name[: -len(".seconds")]
+                rows.append((stage, metric.count, metric.sum, metric.mean))
+    rows.sort(key=lambda r: -r[2])
+    return rows
+
+
+def _label_totals(registry: MetricsRegistry, name: str, label: str) -> Dict[str, float]:
+    """Counter totals per value of one label, summed over other labels."""
+    out: Dict[str, float] = {}
+    for labelset, metric in registry.series(name).items():
+        labels = dict(labelset)
+        if label in labels and not isinstance(metric, Histogram):
+            key = labels[label]
+            out[key] = out.get(key, 0) + metric.value
+    return out
+
+
+def _section(title: str, lines: List[str]) -> List[str]:
+    return [title] + [f"  {line}" for line in lines] + [""]
+
+
+def render_stats(registry: MetricsRegistry) -> str:
+    """Pretty-print one run's telemetry as a multi-section text table."""
+    out: List[str] = []
+
+    timings = _timing_rows(registry)
+    if timings:
+        lines = [f"{'stage':<28} {'calls':>7} {'total(s)':>10} {'mean(s)':>10}"]
+        for stage, count, total, mean in timings:
+            lines.append(f"{stage:<28} {count:>7} {total:>10.3f} {mean:>10.4f}")
+        out += _section("stage wall times", lines)
+
+    parsed = registry.total("parse.entries.total")
+    if parsed:
+        lines = [f"entries parsed: {_fmt_count(parsed)}"]
+        per_app = _label_totals(registry, "parse.entries.total", "app")
+        for app in sorted(per_app):
+            lines.append(f"  {app}: {_fmt_count(per_app[app])}")
+        errors = registry.total("parse.errors.total")
+        if errors:
+            lines.append(f"parse errors: {_fmt_count(errors)}")
+        out += _section("parsing", lines)
+
+    original = registry.total("assemble.attributes.original")
+    augmented = registry.total("assemble.attributes.augmented")
+    if original:
+        growth = (original + augmented) / original
+        out += _section(
+            "attribute growth (Table 2)",
+            [
+                f"systems assembled: {_fmt_count(registry.total('assemble.systems.total'))}",
+                f"original occurrences:  {_fmt_count(original)}",
+                f"augmented occurrences: {_fmt_count(augmented)}",
+                f"growth: {growth:.2f}x",
+            ],
+        )
+
+    candidates = registry.total("infer.pairs.candidate")
+    if candidates:
+        lines = [
+            f"candidate pairs: {_fmt_count(candidates)}",
+            f"rules kept: {_fmt_count(registry.total('infer.rules.kept'))}",
+        ]
+        by_reason = _label_totals(registry, "infer.rules.dropped", "reason")
+        for reason in sorted(by_reason):
+            lines.append(f"dropped ({reason}): {_fmt_count(by_reason[reason])}")
+        by_template = _label_totals(registry, "infer.rules.kept", "template")
+        kept_templates = {t: n for t, n in by_template.items() if n}
+        if kept_templates:
+            lines.append("kept by template:")
+            for template in sorted(kept_templates):
+                lines.append(f"  {template}: {_fmt_count(kept_templates[template])}")
+        out += _section("rule inference (§5)", lines)
+
+    mined = registry.total("mine.itemsets.total")
+    if mined:
+        lines = [f"frequent itemsets: {_fmt_count(mined)}"]
+        per_algo = _label_totals(registry, "mine.itemsets.total", "algo")
+        for algo in sorted(per_algo):
+            lines.append(f"  {algo}: {_fmt_count(per_algo[algo])}")
+        out += _section("mining (Table 3)", lines)
+
+    targets = registry.total("detect.targets.total")
+    if targets:
+        lines = [
+            f"targets checked: {_fmt_count(targets)}",
+            f"warnings: {_fmt_count(registry.total('detect.warnings.total'))}",
+        ]
+        by_kind = _label_totals(registry, "detect.warnings.total", "kind")
+        for kind in sorted(by_kind):
+            lines.append(f"  {kind}: {_fmt_count(by_kind[kind])}")
+        out += _section("detection (§6)", lines)
+
+    if not out:
+        return "no telemetry recorded\n"
+    return "\n".join(out)

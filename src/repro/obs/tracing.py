@@ -1,0 +1,162 @@
+"""Hierarchical spans over the pipeline stages.
+
+A *span* is one timed region of work (``train.assemble``,
+``infer.template``, ``detect``) with attributes (item counts, names) and
+child spans.  Instrumented code opens spans through the module-level
+:func:`span` context manager:
+
+* a ``*.seconds`` histogram is **always** observed in the active
+  :mod:`repro.obs.metrics` registry — stage timings cost two clock reads
+  even with tracing off;
+* the span *tree* is only retained when a :class:`Tracer` is installed
+  via :func:`set_tracer` (the CLI's ``--trace FILE`` does this), keeping
+  memory flat for long-lived processes.
+
+Tracers take an injectable clock (any ``() -> float`` callable) so tests
+can assert on exact durations deterministically; trace trees serialise
+to nested JSON via :meth:`Tracer.to_dict` / :meth:`Tracer.save`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs.metrics import get_registry
+
+
+class Span:
+    """One timed, attributed, nestable region of work."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children")
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.children: List[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds between open and close (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def annotate(self, **fields: object) -> "Span":
+        """Attach item counts / context to the span; chainable."""
+        self.attributes.update(fields)
+        return self
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "duration_s": round(self.duration, 9)}
+        if self.attributes:
+            out["attributes"] = {k: v for k, v in sorted(self.attributes.items())}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class Tracer:
+    """Collects a forest of spans with a deterministic-friendly clock."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: List[Span] = []
+        self._local = threading.local()
+
+    # -- span lifecycle (used by the module-level ``span``) --------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def open_span(self, name: str, attributes: Dict[str, object]) -> Span:
+        opened = Span(name, attributes)
+        stack = self._stack()
+        (stack[-1].children if stack else self.roots).append(opened)
+        stack.append(opened)
+        opened.start = self.clock()
+        return opened
+
+    def close_span(self, closing: Span) -> None:
+        closing.end = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is closing:
+            stack.pop()
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a span on this tracer directly (bypasses the global one)."""
+        opened = self.open_span(name, dict(attributes))
+        try:
+            yield opened
+        finally:
+            self.close_span(opened)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._local = threading.local()
+
+
+# -- the process-local active tracer -------------------------------------------
+
+_active_tracer: Optional[Tracer] = None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _active_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or, with ``None``, remove) the process-local tracer."""
+    global _active_tracer
+    _active_tracer = tracer
+    return tracer
+
+
+@contextmanager
+def span(name: str, **attributes: object) -> Iterator[Span]:
+    """Time a pipeline region; retain the tree only if a tracer is active.
+
+    Usage::
+
+        with span("infer.template", template=t.name) as s:
+            ...
+            s.annotate(pairs=pair_count)
+    """
+    tracer = _active_tracer
+    if tracer is not None:
+        clock = tracer.clock
+        opened = tracer.open_span(name, dict(attributes))
+    else:
+        clock = time.perf_counter
+        opened = Span(name, dict(attributes))
+        opened.start = clock()
+    try:
+        yield opened
+    finally:
+        if tracer is not None:
+            tracer.close_span(opened)
+        else:
+            opened.end = clock()
+        get_registry().histogram(f"{name}.seconds").observe(opened.duration)

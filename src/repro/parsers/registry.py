@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.metrics import get_registry
 from repro.parsers.apache import ApacheParser
 from repro.parsers.base import ConfigEntry, ConfigParser
 from repro.parsers.keyvalue import KeyValueParser
@@ -46,7 +47,15 @@ class ParserRegistry:
 
     def parse(self, app: str, text: str, source_path: str = "") -> List[ConfigEntry]:
         """Convenience: look up and run the parser in one call."""
-        return self.get(app).parse(text, source_path=source_path)
+        registry = get_registry()
+        try:
+            entries = self.get(app).parse(text, source_path=source_path)
+        except Exception:
+            registry.counter("parse.errors.total", app=app).inc()
+            raise
+        registry.counter("parse.files.total", app=app).inc()
+        registry.counter("parse.entries.total", app=app).inc(len(entries))
+        return entries
 
 
 def default_registry() -> ParserRegistry:

@@ -9,7 +9,7 @@ them.  Table 7 exposes them as ``Acct.UserList``, ``Acct.GroupList`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 ROOT_GROUP = "root"

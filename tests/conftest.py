@@ -9,8 +9,6 @@ import pytest
 
 from repro.core.pipeline import EnCore
 from repro.corpus.generator import Ec2CorpusGenerator
-from repro.sysmodel.accounts import AccountDatabase
-from repro.sysmodel.filesystem import FileSystem
 from repro.sysmodel.image import ConfigFile, SystemImage
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.assembler import DataAssembler, attribute_counts
 from repro.core.collector import DataCollector
-from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.dataset import AssembledSystem
 from repro.core.types import ConfigType
 from repro.sysmodel.image import ConfigFile, SystemImage
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.baselines.peerpressure import EnvAugmentedBaseline, ValueComparisonBaseline
-from repro.injection.conferr import ConfErrInjector, InjectedError, InjectionKind
+from repro.injection.conferr import ConfErrInjector, InjectionKind
 
 
 class TestBaselines:

@@ -1,9 +1,7 @@
 """Tests for the data collector (paper §3)."""
 
-import pytest
-
 from repro.core.assembler import DataAssembler
-from repro.core.collector import DataCollector, RawCollection
+from repro.core.collector import DataCollector
 
 
 class TestCollect:

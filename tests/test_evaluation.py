@@ -11,7 +11,7 @@ from repro.evaluation.attribute_growth import measure_app, render_table2, table2
 from repro.evaluation.catalog_study import render_table1, table1_rows
 from repro.evaluation.entropy_ablation import run_entropy_ablation
 from repro.evaluation.injection import render_table8, run_injection_experiment
-from repro.evaluation.matching import error_detected, warning_matches_attribute
+from repro.evaluation.matching import warning_matches_attribute
 from repro.evaluation.mining_scalability import render_table3, table3_rows
 from repro.evaluation.realworld import render_table9, run_real_world_experiment
 from repro.evaluation.rules_experiment import is_expected_rule, run_rules_experiment

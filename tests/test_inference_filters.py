@@ -6,7 +6,7 @@ from repro.core.assembler import DataAssembler
 from repro.core.filters import FilterDecision, RuleFilterPipeline
 from repro.core.inference import RuleInferencer
 from repro.core.rules import ConcreteRule
-from repro.core.templates import default_templates, template_by_name
+from repro.core.templates import template_by_name
 from repro.sysmodel.image import ConfigFile, SystemImage
 
 

@@ -1,0 +1,278 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.pipeline import EnCore
+from repro.corpus.generator import Ec2CorpusGenerator
+from repro.obs import configure, get_logger, render_stats
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    set_registry,
+)
+from repro.obs.tracing import Tracer, set_tracer, span
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by *step* seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    yield
+    set_tracer(None)
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        registry.counter("x.y.total").inc()
+        registry.counter("x.y.total").inc(4)
+        assert registry.value("x.y.total") == 5
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_labels_are_distinct_series(self, registry):
+        registry.counter("parse.entries.total", app="mysql").inc(3)
+        registry.counter("parse.entries.total", app="php").inc(2)
+        assert registry.value("parse.entries.total", app="mysql") == 3
+        assert registry.value("parse.entries.total", app="php") == 2
+        assert registry.total("parse.entries.total") == 5
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        gauge = registry.gauge("queue.depth")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert registry.value("queue.depth") == 7
+
+
+class TestHistogram:
+    def test_observe_buckets(self, registry):
+        hist = registry.histogram("t.seconds", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # non-cumulative: <=1.0, <=10.0, +Inf
+        assert hist.bucket_counts == [2, 1, 1]
+        assert hist.cumulative_counts() == [2, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_default_buckets(self, registry):
+        assert registry.histogram("x.seconds").buckets == DEFAULT_TIME_BUCKETS
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestMerge:
+    def test_counters_add_histograms_fold_gauges_overwrite(self, registry):
+        other = MetricsRegistry()
+        registry.counter("c", app="a").inc(2)
+        other.counter("c", app="a").inc(3)
+        other.counter("c", app="b").inc(7)
+        registry.gauge("g").set(1)
+        other.gauge("g").set(9)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        other.histogram("h", buckets=(1.0,)).observe(2.0)
+        registry.merge(other)
+        assert registry.value("c", app="a") == 5
+        assert registry.value("c", app="b") == 7
+        assert registry.value("g") == 9
+        hist = registry.histogram("h", buckets=(1.0,))
+        assert hist.count == 2 and hist.bucket_counts == [1, 1]
+
+    def test_bucket_mismatch_rejected(self, registry):
+        other = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,)).observe(0.1)
+        other.histogram("h", buckets=(2.0,)).observe(0.1)
+        with pytest.raises(ValueError):
+            registry.merge(other)
+
+
+class TestSerialization:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("parse.entries.total", app="mysql").inc(12)
+        registry.gauge("queue.depth").set(3)
+        registry.histogram("train.seconds", buckets=(0.1, 1.0)).observe(0.25)
+        return registry
+
+    def test_json_round_trip(self):
+        registry = self._populated()
+        restored = MetricsRegistry.from_json(registry.to_json())
+        assert restored.to_dict() == registry.to_dict()
+
+    def test_round_trip_then_merge(self):
+        registry = self._populated()
+        restored = MetricsRegistry.from_json(registry.to_json())
+        restored.merge(self._populated())
+        assert restored.value("parse.entries.total", app="mysql") == 24
+
+    def test_prometheus_exposition(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE parse_entries_total counter" in text
+        assert 'parse_entries_total{app="mysql"} 12' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert 'train_seconds_bucket{le="+Inf"} 1' in text
+        assert "train_seconds_count 1" in text
+
+
+class TestTracing:
+    def test_span_nesting_with_fake_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("train") as train_span:
+            with tracer.span("train.assemble", systems=5):
+                pass
+            with tracer.span("train.infer") as infer_span:
+                infer_span.annotate(rules=7)
+        assert train_span.duration == 5.0  # reads at t=0 and t=5
+        tree = tracer.to_dict()["spans"]
+        assert len(tree) == 1
+        root = tree[0]
+        assert root["name"] == "train"
+        children = [c["name"] for c in root["children"]]
+        assert children == ["train.assemble", "train.infer"]
+        assert root["children"][1]["attributes"] == {"rules": 7}
+
+    def test_global_span_records_metric_without_tracer(self):
+        registry = set_registry(MetricsRegistry())
+        try:
+            with span("stage.one", items=3) as s:
+                pass
+            assert s.end is not None
+            hist = registry.histogram("stage.one.seconds")
+            assert hist.count == 1
+        finally:
+            set_registry(MetricsRegistry())
+
+    def test_global_span_feeds_installed_tracer(self):
+        registry = set_registry(MetricsRegistry())
+        tracer = Tracer(clock=FakeClock())
+        set_tracer(tracer)
+        try:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        finally:
+            set_tracer(None)
+            set_registry(MetricsRegistry())
+        assert len(tracer.roots) == 1
+        assert tracer.roots[0].children[0].name == "inner"
+        assert registry.histogram("inner.seconds").count == 1
+
+    def test_trace_save_is_valid_json(self, tmp_path):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        path = tracer.save(tmp_path / "trace.json")
+        data = json.loads(path.read_text())
+        assert data["spans"][0]["name"] == "a"
+
+
+class TestLogging:
+    def test_key_value_lines(self):
+        stream = io.StringIO()
+        configure(verbosity=1, stream=stream)
+        get_logger("test").info("model.trained", systems=25, note="a b")
+        line = stream.getvalue().strip()
+        assert "level=info" in line
+        assert "event=model.trained" in line
+        assert "systems=25" in line
+        assert 'note="a b"' in line
+
+    def test_json_lines(self):
+        stream = io.StringIO()
+        configure(verbosity=1, stream=stream, json_lines=True)
+        get_logger("test").info("evt", n=1)
+        payload = json.loads(stream.getvalue())
+        assert payload["event"] == "evt" and payload["n"] == 1
+
+    def test_verbosity_gates(self):
+        stream = io.StringIO()
+        configure(verbosity=0, stream=stream)
+        get_logger("test").info("hidden")
+        get_logger("test").warning("shown")
+        out = stream.getvalue()
+        assert "hidden" not in out and "shown" in out
+
+
+class TestPipelineTelemetry:
+    """End-to-end: train + detect populate the registry (tentpole smoke)."""
+
+    @pytest.fixture(scope="class")
+    def run_registry(self):
+        registry = set_registry(MetricsRegistry())
+        try:
+            images = Ec2CorpusGenerator(seed=7).generate(20)
+            encore = EnCore()
+            model = encore.train(images)
+            target = Ec2CorpusGenerator(seed=7).generate_one(999)
+            encore.check(target)
+            yield registry, model
+        finally:
+            set_registry(MetricsRegistry())
+
+    def test_rules_kept_metric_nonzero(self, run_registry):
+        registry, _ = run_registry
+        assert registry.total("infer.rules.kept") > 0
+        assert registry.total("infer.pairs.candidate") > 0
+
+    def test_detect_warnings_metric_nonzero(self, run_registry):
+        registry, _ = run_registry
+        assert registry.total("detect.targets.total") == 1
+        assert registry.total("detect.warnings.total") > 0
+
+    def test_attribute_growth_counters(self, run_registry):
+        registry, _ = run_registry
+        original = registry.total("assemble.attributes.original")
+        augmented = registry.total("assemble.attributes.augmented")
+        assert original > 0
+        assert augmented > original  # Table 2: environment integration grows >2x
+
+    def test_stage_timing_histograms(self, run_registry):
+        registry, _ = run_registry
+        for stage in ("train", "train.assemble", "train.infer", "detect"):
+            assert registry.histogram(f"{stage}.seconds").count >= 1, stage
+
+    def test_model_summary_surfaces_telemetry(self, run_registry):
+        _, model = run_registry
+        summary = model.summary()
+        assert summary["telemetry"]["train_seconds"] > 0
+        assert summary["telemetry"]["infer_seconds"] > 0
+
+    def test_render_stats_table(self, run_registry):
+        registry, _ = run_registry
+        text = render_stats(registry)
+        assert "stage wall times" in text
+        assert "attribute growth" in text
+        assert "rule inference" in text
+        assert "detection" in text
+        assert "growth:" in text

@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.core.persistence import (
-    DatasetSummary,
     load_model_snapshot,
     model_to_dict,
     save_model,

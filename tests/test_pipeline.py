@@ -5,7 +5,6 @@ import pytest
 from repro.core.pipeline import EnCore, EnCoreConfig
 from repro.core.report import Report
 from repro.core.rules import RuleSet
-from repro.corpus.generator import Ec2CorpusGenerator
 
 
 class TestConfig:

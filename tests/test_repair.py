@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.detector import Warning, WarningKind
-from repro.core.repair import RepairAction, RepairAdvisor, Suggestion
+from repro.core.repair import RepairAction, RepairAdvisor
 from repro.core.rules import ConcreteRule
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.testing.rulegen import GeneratedTest, RuleGuidedTestGenerator
+from repro.testing.rulegen import RuleGuidedTestGenerator
 
 
 @pytest.fixture(scope="module")

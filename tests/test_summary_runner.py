@@ -1,7 +1,5 @@
 """Smoke tests for the one-shot evaluation runner and CLI entry points."""
 
-import pytest
-
 from repro.evaluation.summary import main, run_all
 
 

@@ -6,12 +6,10 @@ from repro.core.assembler import DataAssembler
 from repro.core.rules import ConcreteRule, RuleSet
 from repro.core.templates import (
     RelationKind,
-    RuleTemplate,
     default_templates,
     template_by_name,
 )
 from repro.core.types import ConfigType, TypedValue
-from repro.sysmodel.image import ConfigFile, SystemImage
 
 
 @pytest.fixture()
