@@ -1,0 +1,86 @@
+"""Sharded corpus assembly: speedup and bit-for-bit consistency.
+
+Trains on a large synthetic corpus serially and with a 4-worker process
+pool, timing only the assembly stage (the part the shards parallelise;
+rule inference is a global stage and runs identically in both modes).
+Two properties are asserted:
+
+* the assembly stage is >= 1.5x faster with 4 workers than serial, and
+* the learned rules are byte-identical regardless of worker count.
+
+Wall-clock speedup depends on corpus size and hardware: pool start-up
+costs a few hundred milliseconds (the corpus here is deliberately large
+enough to amortise it), and a process pool cannot outrun serial on a
+single-core box, so the speedup floor is only enforced when the worker
+count fits in the usable cores.  Rule identity is asserted always.
+"""
+
+import os
+import time
+
+from conftest import archive, run_once
+
+from repro.core.pipeline import EnCore
+from repro.corpus.generator import Ec2CorpusGenerator
+
+CORPUS_SIZE = 600
+WORKERS = 4
+MIN_SPEEDUP = 1.5
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _assembly_seconds(model):
+    return model.telemetry["assemble_seconds"]
+
+
+def test_parallel_assembly_speedup(benchmark, results_dir):
+    images = list(Ec2CorpusGenerator(seed=29).generate(CORPUS_SIZE))
+
+    def run():
+        serial = EnCore()
+        start = time.perf_counter()
+        serial_model = serial.train(images, workers=1)
+        serial_total = time.perf_counter() - start
+
+        sharded = EnCore()
+        start = time.perf_counter()
+        sharded_model = sharded.train(images, workers=WORKERS)
+        sharded_total = time.perf_counter() - start
+        return serial_model, serial_total, sharded_model, sharded_total
+
+    serial_model, serial_total, sharded_model, sharded_total = run_once(
+        benchmark, run
+    )
+
+    serial_assemble = _assembly_seconds(serial_model)
+    sharded_assemble = _assembly_seconds(sharded_model)
+    speedup = serial_assemble / max(sharded_assemble, 1e-9)
+    serial_rules = serial_model.rules.to_json()
+    sharded_rules = sharded_model.rules.to_json()
+
+    cores = _usable_cores()
+    text = "\n".join([
+        f"Sharded corpus assembly ({CORPUS_SIZE} images, {WORKERS} workers, "
+        f"{cores} usable cores):",
+        f"  assembly  serial: {serial_assemble:6.2f}s   "
+        f"{WORKERS} workers: {sharded_assemble:6.2f}s   "
+        f"speedup: {speedup:.2f}x",
+        f"  end-to-end serial: {serial_total:6.2f}s   "
+        f"{WORKERS} workers: {sharded_total:6.2f}s",
+        f"  rules: {serial_model.rule_count} "
+        f"(identical: {serial_rules == sharded_rules})",
+    ])
+    archive(results_dir, "parallel_train", text)
+
+    assert serial_rules == sharded_rules
+    if cores >= WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"assembly speedup {speedup:.2f}x below {MIN_SPEEDUP}x "
+            f"({serial_assemble:.2f}s serial vs {sharded_assemble:.2f}s sharded)"
+        )

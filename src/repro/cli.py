@@ -67,9 +67,17 @@ def _build_encore(args: argparse.Namespace) -> EnCore:
     return EnCore(config)
 
 
+def _workers(args: argparse.Namespace) -> int:
+    return max(1, getattr(args, "workers", 1) or 1)
+
+
+def _chunk_size(args: argparse.Namespace) -> Optional[int]:
+    return getattr(args, "chunk_size", None)
+
+
 def _train(args: argparse.Namespace, encore: EnCore) -> None:
     images = _load_corpus(Path(args.training) if args.training else None)
-    model = encore.train(images)
+    model = encore.train(images, workers=_workers(args), chunk_size=_chunk_size(args))
     summary = model.summary()
     log.info(
         "model.trained",
@@ -77,6 +85,7 @@ def _train(args: argparse.Namespace, encore: EnCore) -> None:
         attributes=summary["attributes"],
         rules=summary["rules"],
         candidate_pairs=summary["candidate_pairs"],
+        workers=_workers(args),
         infer_seconds=round(model.telemetry.get("infer_seconds", 0.0), 3),
     )
     print(
@@ -165,15 +174,19 @@ def cmd_audit(args: argparse.Namespace) -> int:
     _train(args, encore)
     targets = _load_corpus(Path(args.targets))
     flagged = 0
-    for image in targets:
-        report = encore.check(image)
+    # Reports stream back in input order as worker shards complete, so a
+    # long audit prints findings while later targets are still checking.
+    stream = encore.check_stream(
+        targets, workers=_workers(args), chunk_size=_chunk_size(args)
+    )
+    for report in stream:
         if report.warnings:
             flagged += 1
             top = report.warnings[0]
-            print(f"{image.image_id}: {len(report.warnings)} warning(s); "
+            print(f"{report.image_id}: {len(report.warnings)} warning(s); "
                   f"top: {top}")
         elif args.verbose:
-            print(f"{image.image_id}: clean")
+            print(f"{report.image_id}: clean")
     print(f"\naudit complete: {flagged}/{len(targets)} systems flagged")
     return 0
 
@@ -183,9 +196,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
     encore = _build_encore(args)
     _train(args, encore)
     if args.targets:
-        for image in _load_corpus(Path(args.targets)):
-            report = encore.check(image)
-            log.debug("target.checked", image=image.image_id,
+        stream = encore.check_stream(
+            _load_corpus(Path(args.targets)),
+            workers=_workers(args), chunk_size=_chunk_size(args),
+        )
+        for report in stream:
+            log.debug("target.checked", image=report.image_id,
                       warnings=len(report.warnings))
     registry = get_registry()
     if args.format == "json":
@@ -225,6 +241,13 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-entropy", action="store_true",
                         help="disable the entropy filter")
     parser.add_argument("--customize", help="Figure 6 customization file")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for corpus assembly and batch "
+                             "checking (1 = serial; results are identical at "
+                             "any worker count)")
+    parser.add_argument("--chunk-size", type=int, default=None, metavar="M",
+                        help="images per worker shard (default: computed "
+                             "from the corpus size and worker count)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -29,7 +29,7 @@ from repro.core.types import (
     TypedValue,
     default_type_registry,
 )
-from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.dataset import AssembledSystem, Dataset, PartialDataset
 from repro.core.collector import DataCollector, RawCollection
 from repro.core.augment import Augmenter
 from repro.core.assembler import DataAssembler
@@ -57,6 +57,7 @@ __all__ = [
     "EnCoreConfig",
     "FilterDecision",
     "FilterStats",
+    "PartialDataset",
     "RawCollection",
     "RepairAction",
     "RepairAdvisor",

@@ -13,7 +13,7 @@ from typing import Iterable, Optional
 
 from repro.core.augment import Augmenter
 from repro.core.collector import RawCollection
-from repro.core.dataset import AssembledSystem, Dataset
+from repro.core.dataset import AssembledSystem, Dataset, PartialDataset
 from repro.core.types import ConfigType, TypeInferencer, TypeRegistry
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
@@ -99,10 +99,22 @@ class DataAssembler:
 
     # -- corpora ---------------------------------------------------------------
 
+    def assemble_partial(self, images: Iterable[SystemImage]) -> PartialDataset:
+        """Assemble a chunk of images into a mergeable partial dataset.
+
+        This is the unit of work a sharded-assembly worker performs; the
+        serial corpus path folds through the same accumulation so both
+        routes produce identical statistics.
+        """
+        partial = PartialDataset()
+        for image in images:
+            partial.add(self.assemble(image))
+        return partial
+
     def assemble_corpus(self, images: Iterable[SystemImage]) -> Dataset:
         """Assemble a full training set into a :class:`Dataset`."""
         with span("assemble.corpus") as s:
-            dataset = Dataset(self.assemble(image) for image in images)
+            dataset = self.assemble_partial(images).finalize()
             s.annotate(systems=len(dataset), attributes=len(dataset.attributes()))
         return dataset
 

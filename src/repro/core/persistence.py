@@ -17,6 +17,7 @@ must be re-created with the same customization applied.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -25,7 +26,11 @@ from repro.core.pipeline import TrainedModel
 from repro.core.rules import RuleSet
 from repro.core.types import ConfigType
 
-SNAPSHOT_VERSION = 1
+#: v2 adds the training provenance (``candidate_pairs``, ``telemetry``)
+#: so restored models stop fabricating an empty inference audit trail;
+#: v1 snapshots still load, with empty provenance.
+SNAPSHOT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class DatasetSummary:
@@ -111,13 +116,25 @@ def model_to_dict(model: TrainedModel) -> Dict[str, object]:
             a for a in dataset.attributes() if dataset.is_augmented(a)
         ),
         "rules": [rule.to_dict() for rule in model.rules],
+        "candidate_pairs": model.inference.candidate_pairs,
+        "telemetry": dict(model.telemetry),
     }
 
 
-def summary_from_dict(data: Dict[str, object]) -> tuple:
-    """(DatasetSummary, RuleSet) from :func:`model_to_dict` output."""
+@dataclass
+class ModelSnapshot:
+    """Everything a restored model carries: detector surface + provenance."""
+
+    summary: DatasetSummary
+    rules: RuleSet
+    candidate_pairs: int = 0
+    telemetry: Dict[str, float] = field(default_factory=dict)
+
+
+def snapshot_from_dict(data: Dict[str, object]) -> ModelSnapshot:
+    """Full :class:`ModelSnapshot` from :func:`model_to_dict` output."""
     version = data.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported model snapshot version: {version}")
     stats = {
         entry["attribute"]: _stats_from_dict(entry) for entry in data["stats"]
@@ -131,7 +148,18 @@ def summary_from_dict(data: Dict[str, object]) -> tuple:
     from repro.core.rules import ConcreteRule
 
     rules = RuleSet(ConcreteRule.from_dict(r) for r in data["rules"])
-    return summary, rules
+    return ModelSnapshot(
+        summary=summary,
+        rules=rules,
+        candidate_pairs=int(data.get("candidate_pairs", 0)),
+        telemetry={k: float(v) for k, v in data.get("telemetry", {}).items()},
+    )
+
+
+def summary_from_dict(data: Dict[str, object]) -> tuple:
+    """(DatasetSummary, RuleSet) from :func:`model_to_dict` output."""
+    snapshot = snapshot_from_dict(data)
+    return snapshot.summary, snapshot.rules
 
 
 def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
@@ -144,3 +172,8 @@ def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
 def load_model_snapshot(path: Union[str, Path]) -> tuple:
     """(DatasetSummary, RuleSet) from a saved snapshot file."""
     return summary_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_snapshot(path: Union[str, Path]) -> ModelSnapshot:
+    """Full snapshot (including training provenance) from a saved file."""
+    return snapshot_from_dict(json.loads(Path(path).read_text()))

@@ -10,9 +10,9 @@ systems" (§3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.assembler import DataAssembler
 from repro.core.augment import Augmenter
@@ -52,6 +52,20 @@ class EnCoreConfig:
             raise ValueError("min_support_fraction must be in [0,1]")
         if not 0 <= self.min_confidence <= 1:
             raise ValueError("min_confidence must be in [0,1]")
+        if self.entropy_threshold < 0:
+            raise ValueError(
+                "entropy_threshold must be non-negative "
+                f"(got {self.entropy_threshold}); the paper's default is "
+                f"{DEFAULT_ENTROPY_THRESHOLD}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form; the payload worker processes rebuild from."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EnCoreConfig":
+        return cls(**data)
 
 
 @dataclass
@@ -63,7 +77,7 @@ class TrainedModel:
     inference: InferenceResult
     templates: Sequence[RuleTemplate]
     #: Per-stage wall times (seconds) observed while this model was
-    #: trained; empty for models restored from disk.
+    #: trained; snapshot-restored models carry the training run's values.
     telemetry: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -101,6 +115,12 @@ class EnCore:
         self._augmenter = Augmenter()
         self._templates: List[RuleTemplate] = list(default_templates())
         self._customization: Optional[Customization] = None
+        #: Applied customization file texts, in order — what a worker
+        #: process needs to rebuild this instance's parsers/types/templates.
+        self._customization_texts: List[str] = []
+        #: True once register_template() has added code the worker-rebuild
+        #: path cannot reproduce; parallel stages then refuse to fork.
+        self._programmatic_templates = False
         if self.config.customization_text:
             self.customize(self.config.customization_text)
         self._rebuild_assembler()
@@ -124,35 +144,119 @@ class EnCore:
         custom.apply_to_augmenter(self._augmenter)
         self._templates.extend(custom.build_templates())
         self._customization = custom
+        self._customization_texts.append(customization_text)
         self._rebuild_assembler()
         return custom
 
     def register_template(self, template: RuleTemplate) -> None:
-        """Add a programmatic custom template (the non-file route)."""
+        """Add a programmatic custom template (the non-file route).
+
+        Templates added this way are code, not data: they cannot be
+        shipped to worker processes, so parallel (``workers > 1``) stages
+        refuse to run afterwards.  Use a customization file for setups
+        that must scale out.
+        """
         self._templates.append(template)
+        self._programmatic_templates = True
 
     @property
     def templates(self) -> List[RuleTemplate]:
         return list(self._templates)
 
+    # -- worker/parallelism support ---------------------------------------------
+
+    def worker_config(self) -> EnCoreConfig:
+        """The config a worker process rebuilds this instance from.
+
+        Folds every customization text applied so far (constructor or
+        :meth:`customize`) back into ``customization_text`` so the worker's
+        parsers, types and templates match the coordinator's.
+        """
+        text = "\n".join(self._customization_texts) or None
+        return replace(self.config, customization_text=text)
+
+    def _require_forkable(self, workers: int) -> None:
+        if workers > 1 and self._programmatic_templates:
+            raise ValueError(
+                "programmatically registered templates cannot cross process "
+                "boundaries; use a customization file (customization_text) "
+                "or workers=1"
+            )
+
+    def _sharded_assembler(self, workers: int, chunk_size: Optional[int]):
+        from repro.engine.sharding import ShardedAssembler
+
+        return ShardedAssembler(
+            self.worker_config(), self.assembler,
+            workers=workers, chunk_size=chunk_size,
+        )
+
     # -- training --------------------------------------------------------------------
 
-    def train(self, images: Iterable[SystemImage]) -> TrainedModel:
-        """Assemble the corpus and infer rules (Figure 5 workflow)."""
+    def train(
+        self,
+        images: Iterable[SystemImage],
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> TrainedModel:
+        """Assemble the corpus and infer rules (Figure 5 workflow).
+
+        ``workers > 1`` shards corpus assembly across a process pool
+        (``repro.engine.sharding``); the learned rules are identical to a
+        serial run regardless of worker count or chunk size.
+        """
+        self._require_forkable(workers)
         with span("train") as train_span:
             with span("train.assemble") as assemble_span:
-                dataset = self.assembler.assemble_corpus(images)
+                dataset = self._sharded_assembler(workers, chunk_size).assemble(images)
             model = self.train_on_dataset(dataset)
             train_span.annotate(systems=len(dataset), rules=len(model.rules))
         model.telemetry["assemble_seconds"] = assemble_span.duration
         model.telemetry["train_seconds"] = train_span.duration
+        if workers > 1:
+            model.telemetry["assemble_workers"] = float(workers)
         return model
 
-    def train_on_dataset(self, dataset: Dataset) -> TrainedModel:
-        """Infer rules over an already-assembled dataset."""
-        if len(dataset) == 0:
-            raise ValueError("training set is empty")
-        inferencer = RuleInferencer(
+    def train_more(
+        self,
+        images: Iterable[SystemImage],
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> TrainedModel:
+        """Incrementally extend the trained model with new images.
+
+        Only the new shard is assembled; its statistics merge into the
+        existing dataset through the associative
+        :meth:`~repro.core.dataset.Dataset.merge` and inference re-runs
+        over the combined statistics.  The result is identical to
+        retraining from scratch on the concatenated corpus, without ever
+        re-assembling the old one.
+        """
+        if self.model is None:
+            raise RuntimeError(
+                "train_more() requires a trained model; call train() first"
+            )
+        base = self.model.dataset
+        if not isinstance(base, Dataset):
+            raise RuntimeError(
+                "train_more() needs the full training dataset; "
+                "snapshot-restored models (load_model) carry only summary "
+                "statistics"
+            )
+        self._require_forkable(workers)
+        with span("train.more") as more_span:
+            with span("train.assemble") as assemble_span:
+                fresh = self._sharded_assembler(workers, chunk_size).assemble(images)
+            merged = base.merge(fresh)
+            model = self.train_on_dataset(merged)
+            more_span.annotate(added=len(fresh), systems=len(merged))
+        model.telemetry["assemble_seconds"] = assemble_span.duration
+        model.telemetry["train_more_seconds"] = more_span.duration
+        return model
+
+    def build_inferencer(self) -> RuleInferencer:
+        """The rule inferencer this configuration trains with."""
+        return RuleInferencer(
             templates=self._templates,
             min_support_fraction=self.config.min_support_fraction,
             min_confidence=self.config.min_confidence,
@@ -160,6 +264,12 @@ class EnCore:
             use_entropy=self.config.use_entropy_filter,
             restrict_types=self.config.restrict_types,
         )
+
+    def train_on_dataset(self, dataset: Dataset) -> TrainedModel:
+        """Infer rules over an already-assembled dataset."""
+        if len(dataset) == 0:
+            raise ValueError("training set is empty")
+        inferencer = self.build_inferencer()
         with span("train.infer") as infer_span:
             result = inferencer.infer(dataset)
         self.model = TrainedModel(
@@ -189,8 +299,44 @@ class EnCore:
             s.annotate(warnings=len(warnings))
         return Report(image.image_id, warnings)
 
-    def check_many(self, images: Iterable[SystemImage]) -> List[Report]:
-        return [self.check(image) for image in images]
+    def check_stream(
+        self,
+        images: Iterable[SystemImage],
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[Report]:
+        """Check a fleet of targets, yielding reports in input order.
+
+        ``workers > 1`` fans target chunks out to a process pool
+        (``repro.engine.batch``); each worker rebuilds the detector from
+        the model snapshot, and reports stream back to the caller as
+        shards complete.
+        """
+        if self.model is None or self._detector is None:
+            raise RuntimeError(
+                "check_stream() requires a trained model; call train() first"
+            )
+        if workers <= 1:
+            for image in images:
+                yield self.check(image)
+            return
+        self._require_forkable(workers)
+        from repro.core.persistence import model_to_dict
+        from repro.engine.batch import BatchChecker
+
+        checker = BatchChecker(
+            self.worker_config(), model_to_dict(self.model),
+            workers=workers, chunk_size=chunk_size,
+        )
+        yield from checker.stream(images)
+
+    def check_many(
+        self,
+        images: Iterable[SystemImage],
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> List[Report]:
+        return list(self.check_stream(images, workers=workers, chunk_size=chunk_size))
 
     # -- persistence --------------------------------------------------------------------
 
@@ -215,20 +361,34 @@ class EnCore:
         target assembly, so customized deployments must re-apply the same
         customization before loading.
         """
-        from repro.core.persistence import load_model_snapshot
+        from repro.core.persistence import load_snapshot
 
-        summary, rules = load_model_snapshot(path)
+        self._install_snapshot(load_snapshot(path))
+
+    def load_model_data(self, data: Dict[str, object]) -> None:
+        """Restore a model from an in-memory snapshot dict.
+
+        The worker-process path of parallel batch checking: the
+        coordinator ships :func:`repro.core.persistence.model_to_dict`
+        output instead of a file.
+        """
+        from repro.core.persistence import snapshot_from_dict
+
+        self._install_snapshot(snapshot_from_dict(data))
+
+    def _install_snapshot(self, snapshot) -> None:
         self.model = TrainedModel(
-            dataset=summary,  # duck-typed: the detector-facing surface
-            rules=rules,
+            dataset=snapshot.summary,  # duck-typed: the detector-facing surface
+            rules=snapshot.rules,
             inference=InferenceResult(
-                rules=rules, pre_entropy_rules=rules, decisions={},
-                candidate_pairs=0,
+                rules=snapshot.rules, pre_entropy_rules=snapshot.rules,
+                decisions={}, candidate_pairs=snapshot.candidate_pairs,
             ),
             templates=self._templates,
+            telemetry=dict(snapshot.telemetry),
         )
         self._detector = AnomalyDetector(
-            summary, rules,
+            snapshot.summary, snapshot.rules,
             inferencer=self.assembler.inferencer,
             templates=self._templates,
         )
@@ -245,17 +405,23 @@ class EnCore:
         Requires a trained model (for the attribute statistics the
         detector consumes); only the rules are replaced.
         """
+        if self.model is None:
+            raise RuntimeError(
+                "load_rules() requires a trained model for the attribute "
+                "statistics the detector consumes; call train() first, or "
+                "use load_model() with a full snapshot"
+            )
         rules = RuleSet.load(path)
-        if self.model is not None:
-            self.model = TrainedModel(
-                dataset=self.model.dataset,
-                rules=rules,
-                inference=self.model.inference,
-                templates=self._templates,
-            )
-            self._detector = AnomalyDetector(
-                self.model.dataset, rules,
-                inferencer=self.assembler.inferencer,
-                templates=self._templates,
-            )
+        self.model = TrainedModel(
+            dataset=self.model.dataset,
+            rules=rules,
+            inference=self.model.inference,
+            templates=self._templates,
+            telemetry=dict(self.model.telemetry),
+        )
+        self._detector = AnomalyDetector(
+            self.model.dataset, rules,
+            inferencer=self.assembler.inferencer,
+            templates=self._templates,
+        )
         return rules

@@ -1,0 +1,46 @@
+"""The stage engine: explicit pipeline stages, sharding, batch checking.
+
+``repro.core`` implements *what* each stage computes; this package owns
+*how* stages execute — stage boundaries and their serialisable
+artifacts (:mod:`~repro.engine.stages`, :mod:`~repro.engine.artifacts`),
+sharded parallel corpus assembly over a process pool
+(:mod:`~repro.engine.sharding`), and streamed parallel batch checking
+(:mod:`~repro.engine.batch`).
+
+The contract throughout: executing a stage with ``workers=N`` for any N
+(and any chunk size) produces results identical to the serial run.
+Assembly achieves this through the associative
+:meth:`~repro.core.dataset.PartialDataset.merge`; checking because each
+target is independent and reports are re-ordered to input order.
+"""
+
+from repro.engine.artifacts import (
+    CheckResult,
+    ShardResult,
+    assembled_system_from_dict,
+    assembled_system_to_dict,
+    partial_from_dict,
+    partial_to_dict,
+    report_from_dict,
+)
+from repro.engine.batch import BatchChecker
+from repro.engine.sharding import ShardedAssembler, chunked, default_chunk_size
+from repro.engine.stages import StageEngine, StageSpec, render_stage_graph, stage_graph
+
+__all__ = [
+    "BatchChecker",
+    "CheckResult",
+    "ShardResult",
+    "ShardedAssembler",
+    "StageEngine",
+    "StageSpec",
+    "assembled_system_from_dict",
+    "assembled_system_to_dict",
+    "chunked",
+    "default_chunk_size",
+    "partial_from_dict",
+    "partial_to_dict",
+    "render_stage_graph",
+    "report_from_dict",
+    "stage_graph",
+]

@@ -1,0 +1,171 @@
+"""Serializable inter-stage artifacts.
+
+Every boundary in the stage graph (``repro.engine.stages``) exchanges a
+value that can leave the process: system images already serialise via
+:mod:`repro.sysmodel.snapshot`, rules and model snapshots via
+:mod:`repro.core.persistence`.  This module fills the remaining gaps —
+assembled systems, partial datasets, shard results and check results —
+so any stage's output can be pickled to a worker process, written to
+disk, or shipped to another host and resumed there.
+
+JSON round-trips are lossless except for report warning scores, which
+:meth:`repro.core.report.Report.to_dict` rounds to 4 decimals (ranking
+is preserved).  In-process shard transfer uses pickle and is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.dataset import AssembledSystem, PartialDataset
+from repro.core.detector import Warning, WarningKind
+from repro.core.report import Report
+from repro.core.rules import ConcreteRule
+from repro.core.types import ConfigType
+from repro.sysmodel.snapshot import image_from_dict, image_to_dict
+
+
+# -- assembled systems ---------------------------------------------------------
+
+
+def assembled_system_to_dict(system: AssembledSystem) -> Dict[str, Any]:
+    """Serialise one assembled row, including its backing image.
+
+    The image rides along because template validation methods consult the
+    environment (ownership lookups, path existence) beyond the augmented
+    columns.
+    """
+    attributes = []
+    for attribute in system.attributes():
+        attributes.append({
+            "name": attribute,
+            "augmented": system.is_augmented(attribute),
+            "occurrences": [
+                {"value": tv.value, "type": tv.type.value}
+                for tv in system.values_of(attribute)
+            ],
+        })
+    return {
+        "image": image_to_dict(system.image),
+        "environment_available": system.environment_available,
+        "attributes": attributes,
+    }
+
+
+def assembled_system_from_dict(data: Dict[str, Any]) -> AssembledSystem:
+    """Rebuild an assembled row from :func:`assembled_system_to_dict`."""
+    system = AssembledSystem(
+        image_from_dict(data["image"]),
+        environment_available=data["environment_available"],
+    )
+    for entry in data["attributes"]:
+        for occurrence in entry["occurrences"]:
+            system.set(
+                entry["name"], occurrence["value"],
+                ConfigType(occurrence["type"]), augmented=entry["augmented"],
+            )
+    return system
+
+
+# -- partial datasets ----------------------------------------------------------
+
+
+def partial_to_dict(partial: PartialDataset) -> Dict[str, Any]:
+    """Serialise a partial dataset as its system rows.
+
+    The per-attribute counters are a pure function of the rows, so the
+    wire format carries only the rows and the loader re-accumulates —
+    there is no way for serialised statistics to drift from the data.
+    """
+    return {"systems": [assembled_system_to_dict(s) for s in partial.systems]}
+
+
+def partial_from_dict(data: Dict[str, Any]) -> PartialDataset:
+    return PartialDataset.from_systems(
+        assembled_system_from_dict(s) for s in data["systems"]
+    )
+
+
+# -- shard results -------------------------------------------------------------
+
+
+@dataclass
+class ShardResult:
+    """What one assembly worker hands back: rows + stats + telemetry.
+
+    ``metrics`` is a :meth:`repro.obs.metrics.MetricsRegistry.to_dict`
+    snapshot of the worker's process-local registry; the coordinator folds
+    it into its own registry so sharded runs report the same totals as
+    serial ones.
+    """
+
+    partial: PartialDataset
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    shard_index: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "partial": partial_to_dict(self.partial),
+            "metrics": self.metrics,
+            "shard_index": self.shard_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardResult":
+        return cls(
+            partial=partial_from_dict(data["partial"]),
+            metrics=dict(data.get("metrics", {})),
+            shard_index=int(data.get("shard_index", 0)),
+        )
+
+
+# -- check results -------------------------------------------------------------
+
+
+def warning_from_dict(data: Dict[str, Any]) -> Warning:
+    """Inverse of the warning entries in :meth:`Report.to_dict`."""
+    rule: Optional[ConcreteRule] = None
+    if data.get("rule"):
+        rule = ConcreteRule.from_dict(data["rule"])
+    return Warning(
+        kind=WarningKind(data["kind"]),
+        attribute=data["attribute"],
+        message=data["message"],
+        score=float(data["score"]),
+        value=data.get("value"),
+        evidence=data.get("evidence", ""),
+        rule=rule,
+    )
+
+
+def report_from_dict(data: Dict[str, Any]) -> Report:
+    """Inverse of :meth:`repro.core.report.Report.to_dict`."""
+    return Report(
+        image_id=data["image_id"],
+        warnings=[warning_from_dict(w) for w in data["warnings"]],
+    )
+
+
+@dataclass
+class CheckResult:
+    """What one checking worker hands back: reports + telemetry."""
+
+    reports: List[Report]
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    shard_index: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "reports": [r.to_dict() for r in self.reports],
+            "metrics": self.metrics,
+            "shard_index": self.shard_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CheckResult":
+        return cls(
+            reports=[report_from_dict(r) for r in data["reports"]],
+            metrics=dict(data.get("metrics", {})),
+            shard_index=int(data.get("shard_index", 0)),
+        )

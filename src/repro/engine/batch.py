@@ -1,0 +1,122 @@
+"""Parallel batch checking with streamed per-image reports.
+
+Checking is per-target independent — "since the checking and the
+learning are cleanly separated, the learned rules can be reused to
+check different systems" (paper §3) — so a fleet of targets shards
+naturally.  Each worker receives the serialised model snapshot (the
+same JSON surface :mod:`repro.core.persistence` writes to disk) plus a
+chunk of target snapshots, rebuilds a detector, and returns a
+:class:`~repro.engine.artifacts.CheckResult`.
+
+Reports stream back in input order: the coordinator iterates
+``executor.map`` lazily, so early chunks are yielded to the caller
+while later chunks are still being checked.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.report import Report
+from repro.engine.artifacts import CheckResult
+from repro.engine.sharding import chunked
+from repro.obs import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.tracing import span
+from repro.sysmodel.image import SystemImage
+from repro.sysmodel.snapshot import image_from_dict, image_to_dict
+
+log = get_logger("engine.batch")
+
+
+def default_check_chunk_size(n_items: int, workers: int) -> int:
+    """Several chunks per worker so reports start streaming early."""
+    return max(1, math.ceil(n_items / max(1, workers * 4)))
+
+
+def _check_shard(payload: Dict[str, Any]) -> CheckResult:
+    """Worker entry point: check one chunk of target snapshot dicts."""
+    from repro.core.pipeline import EnCore, EnCoreConfig
+
+    set_registry(MetricsRegistry())
+    encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
+    encore.load_model_data(payload["model"])
+    reports = [encore.check(image_from_dict(d)) for d in payload["images"]]
+    return CheckResult(
+        reports=reports,
+        metrics=get_registry().to_dict(),
+        shard_index=payload["shard_index"],
+    )
+
+
+class BatchChecker:
+    """Stream reports for a fleet of targets across worker processes."""
+
+    def __init__(
+        self,
+        config,
+        model_payload: Dict[str, Any],
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.model_payload = model_payload
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def stream(self, images: Iterable[SystemImage]) -> Iterator[Report]:
+        """Yield one report per target, in input order, as shards finish."""
+        images = list(images)
+        if not images:
+            return
+        chunk_size = self.chunk_size or default_check_chunk_size(
+            len(images), self.workers
+        )
+        chunks = chunked(images, chunk_size)
+        config_dict = self.config.to_dict()
+        payloads = [
+            {
+                "config": config_dict,
+                "model": self.model_payload,
+                "images": [image_to_dict(image) for image in chunk],
+                "shard_index": index,
+            }
+            for index, chunk in enumerate(chunks)
+        ]
+        with span("check.batch", targets=len(images), workers=self.workers):
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks))
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                log.warning("batch.pool_unavailable", error=str(exc))
+                yield from self._stream_serial(payloads)
+                return
+            with executor:
+                for result in executor.map(_check_shard, payloads):
+                    self._fold(result)
+                    yield from result.reports
+
+    def _stream_serial(self, payloads: List[Dict[str, Any]]) -> Iterator[Report]:
+        for payload in payloads:
+            result = _check_shard_inline(payload)
+            self._fold(result)
+            yield from result.reports
+
+    @staticmethod
+    def _fold(result: CheckResult) -> None:
+        merge_snapshot(result.metrics)
+        get_registry().counter("check.shards.total").inc()
+
+
+def _check_shard_inline(payload: Dict[str, Any]) -> CheckResult:
+    """Run a shard in-process without clobbering the caller's registry."""
+    parent = get_registry()
+    try:
+        return _check_shard(payload)
+    finally:
+        set_registry(parent)

@@ -1,0 +1,155 @@
+"""Sharded parallel corpus assembly.
+
+Corpus assembly (parse → type → augment, per image) is embarrassingly
+parallel: no image's row depends on another's.  The coordinator splits
+the image list into contiguous chunks, ships each chunk to a worker
+process as a serialised payload, and folds the returned
+:class:`~repro.engine.artifacts.ShardResult` partials back together
+left-to-right.  Because :meth:`PartialDataset.merge` is associative and
+order-preserving, the finalized dataset is identical — fingerprint and
+all — to a serial pass, regardless of worker count or chunk size.
+
+Workers rebuild their assembler from the serialised
+:class:`~repro.core.pipeline.EnCoreConfig` (including any customization
+file text), record into a fresh process-local metrics registry, and
+return its snapshot; the coordinator merges those snapshots so sharded
+runs report the same telemetry totals as serial ones.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.core.dataset import Dataset, PartialDataset
+from repro.engine.artifacts import ShardResult
+from repro.obs import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.tracing import span
+from repro.sysmodel.image import SystemImage
+from repro.sysmodel.snapshot import image_from_dict, image_to_dict
+
+T = TypeVar("T")
+
+log = get_logger("engine.sharding")
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
+    """Contiguous chunks of at most *chunk_size* items, order preserved."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [list(items[i:i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """About four chunks per worker.
+
+    Smaller chunks let the coordinator deserialise shard *i* while the
+    pool is still assembling shard *i+1*, hiding the result-shipping
+    latency behind worker compute; one-chunk-per-worker would serialise
+    that cost at the end of the run.
+    """
+    return max(1, math.ceil(n_items / (max(1, workers) * 4)))
+
+
+def _assemble_shard(payload: Dict[str, Any]) -> ShardResult:
+    """Worker entry point: assemble one chunk of snapshot dicts.
+
+    Must stay a module-level function (picklable under every
+    multiprocessing start method).  The worker's metrics registry is
+    fresh per shard so the returned snapshot contains exactly this
+    shard's telemetry.
+    """
+    from repro.core.pipeline import EnCore, EnCoreConfig
+
+    set_registry(MetricsRegistry())
+    encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
+    images = [image_from_dict(d) for d in payload["images"]]
+    partial = encore.assembler.assemble_partial(images)
+    return ShardResult(
+        partial=partial,
+        metrics=get_registry().to_dict(),
+        shard_index=payload["shard_index"],
+    )
+
+
+class ShardedAssembler:
+    """Assemble a corpus across *workers* processes.
+
+    ``workers <= 1`` runs serially through *assembler* (the caller's own
+    instance, preserving programmatic customization exactly); ``workers
+    > 1`` rebuilds assemblers in worker processes from *config*.  When a
+    process pool cannot be created (restricted sandboxes), assembly
+    falls back to the serial path with a warning — results are identical
+    either way.
+    """
+
+    def __init__(
+        self,
+        config,
+        assembler,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config
+        self.assembler = assembler
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def assemble(self, images: Iterable[SystemImage]) -> Dataset:
+        images = list(images)
+        if self.workers <= 1 or len(images) <= 1:
+            return self.assembler.assemble_corpus(images)
+        return self._assemble_sharded(images)
+
+    def assemble_partial(self, images: Iterable[SystemImage]) -> PartialDataset:
+        images = list(images)
+        if self.workers <= 1 or len(images) <= 1:
+            return self.assembler.assemble_partial(images)
+        return self._sharded_partial(images)
+
+    # -- internals -------------------------------------------------------------
+
+    def _assemble_sharded(self, images: List[SystemImage]) -> Dataset:
+        with span("assemble.corpus") as s:
+            dataset = self._sharded_partial(images).finalize()
+            s.annotate(systems=len(dataset), attributes=len(dataset.attributes()))
+        return dataset
+
+    def _sharded_partial(self, images: List[SystemImage]) -> PartialDataset:
+        chunk_size = self.chunk_size or default_chunk_size(len(images), self.workers)
+        chunks = chunked(images, chunk_size)
+        config_dict = self.config.to_dict()
+        payloads = [
+            {
+                "config": config_dict,
+                "images": [image_to_dict(image) for image in chunk],
+                "shard_index": index,
+            }
+            for index, chunk in enumerate(chunks)
+        ]
+        merged = PartialDataset()
+        shards_done = 0
+        with span("assemble.shards", shards=len(chunks), workers=self.workers):
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(chunks))
+                )
+            except (OSError, PermissionError, ValueError) as exc:
+                log.warning("shard.pool_unavailable", error=str(exc))
+                return self.assembler.assemble_partial(images)
+            with executor:
+                # Folding inside the map loop overlaps the coordinator's
+                # counter accumulation with the pool's remaining shard
+                # compute; executor.map preserves input order, so the
+                # left fold is deterministic regardless of completion
+                # order.  extend() is merge() without the per-shard copy.
+                for result in executor.map(_assemble_shard, payloads):
+                    merged.extend(result.partial)
+                    merge_snapshot(result.metrics)
+                    shards_done += 1
+        get_registry().counter("assemble.shards.total").inc(shards_done)
+        return merged

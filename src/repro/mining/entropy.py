@@ -13,7 +13,7 @@ split.  Natural log, matching the paper's formula.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Mapping, Sequence
 
 #: The paper's default entropy threshold (two values at 90/10 probability).
 DEFAULT_ENTROPY_THRESHOLD = 0.325
@@ -36,6 +36,21 @@ def shannon_entropy(probabilities: Sequence[float]) -> float:
     return entropy
 
 
+def entropy_from_counts(counts: Mapping[object, int]) -> float:
+    """Entropy of a value → occurrence-count histogram.
+
+    The summation iterates counts in sorted-key order so the result is a
+    deterministic function of the histogram alone — merged shard counters
+    and a serial pass over the same values produce bit-identical floats,
+    which the sharded-assembly consistency guarantee depends on.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    ordered = sorted(counts.items(), key=lambda kv: str(kv[0]))
+    return shannon_entropy([n / total for _, n in ordered])
+
+
 def value_entropy(values: Iterable[object]) -> float:
     """Entropy of the empirical value distribution of one attribute.
 
@@ -44,15 +59,11 @@ def value_entropy(values: Iterable[object]) -> float:
     An attribute with zero or one distinct value has entropy 0.
     """
     counts: Dict[object, int] = {}
-    total = 0
     for value in values:
         if value is None:
             continue
         counts[value] = counts.get(value, 0) + 1
-        total += 1
-    if total == 0:
-        return 0.0
-    return shannon_entropy([n / total for n in counts.values()])
+    return entropy_from_counts(counts)
 
 
 def two_value_threshold(p_major: float = 0.9) -> float:

@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    merge_snapshot,
     reset_registry,
     set_registry,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "get_tracer",
+    "merge_snapshot",
     "render_stats",
     "reset_registry",
     "set_registry",

@@ -342,3 +342,14 @@ def reset_registry() -> MetricsRegistry:
     """Clear the process-local registry in place (returns it)."""
     _default_registry.reset()
     return _default_registry
+
+
+def merge_snapshot(data: Mapping) -> MetricsRegistry:
+    """Fold a serialised registry snapshot into the process-local registry.
+
+    Worker processes (sharded assembly, batch checking) record into their
+    own registries and return :meth:`MetricsRegistry.to_dict` snapshots;
+    the coordinator calls this per shard so parallel runs expose the same
+    counter totals and histogram populations as a serial run.
+    """
+    return get_registry().merge(MetricsRegistry.from_dict(data))

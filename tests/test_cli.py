@@ -67,6 +67,29 @@ class TestTrainCheck:
         out = capsys.readouterr().out
         assert "trained on 25 systems" in out
 
+    def test_train_workers_matches_serial(self, corpus_dir, tmp_path, capsys):
+        """`--workers 2` must write byte-identical rules to a serial run."""
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main([
+            "train", "--training", str(corpus_dir), "--rules", str(serial),
+        ]) == 0
+        assert main([
+            "train", "--training", str(corpus_dir), "--rules", str(sharded),
+            "--workers", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert serial.read_text() == sharded.read_text()
+
+    def test_audit_with_workers(self, corpus_dir, capsys):
+        rc = main([
+            "audit", "--training", str(corpus_dir),
+            "--targets", str(corpus_dir), "--workers", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "audit complete" in out
+
     def test_check_with_saved_rules(self, corpus_dir, tmp_path, capsys):
         rules_path = tmp_path / "rules.json"
         main(["train", "--training", str(corpus_dir), "--rules", str(rules_path)])

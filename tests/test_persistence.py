@@ -52,6 +52,36 @@ class TestSnapshotRoundtrip:
         with pytest.raises(ValueError):
             summary_from_dict(data)
 
+    def test_provenance_round_trip(self, trained_encore, tmp_path):
+        """candidate_pairs and telemetry survive save → load → summary()."""
+        from repro.core.persistence import load_snapshot
+
+        model = trained_encore.model
+        assert model.inference.candidate_pairs > 0
+        path = save_model(model, tmp_path / "model.json")
+        snapshot = load_snapshot(path)
+        assert snapshot.candidate_pairs == model.inference.candidate_pairs
+        assert snapshot.telemetry == model.telemetry
+
+        fresh = EnCore()
+        fresh.load_model(path)
+        summary = fresh.model.summary()
+        assert summary["candidate_pairs"] == model.inference.candidate_pairs
+        assert summary["telemetry"] == model.telemetry
+
+    def test_v1_snapshots_still_load(self, trained_encore):
+        """Pre-provenance snapshots load with empty provenance."""
+        from repro.core.persistence import snapshot_from_dict
+
+        data = model_to_dict(trained_encore.model)
+        data["version"] = 1
+        del data["candidate_pairs"]
+        del data["telemetry"]
+        snapshot = snapshot_from_dict(data)
+        assert snapshot.candidate_pairs == 0
+        assert snapshot.telemetry == {}
+        assert len(snapshot.rules) == trained_encore.model.rule_count
+
 
 class TestCheckingFromSnapshot:
     def test_check_without_training(self, trained_encore, tmp_path, held_out_image):

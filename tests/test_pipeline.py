@@ -20,6 +20,17 @@ class TestConfig:
         with pytest.raises(ValueError):
             EnCoreConfig(min_support_fraction=-0.1)
 
+    def test_negative_entropy_threshold_rejected(self):
+        with pytest.raises(ValueError, match="entropy_threshold"):
+            EnCoreConfig(entropy_threshold=-0.1)
+
+    def test_zero_entropy_threshold_allowed(self):
+        assert EnCoreConfig(entropy_threshold=0.0).entropy_threshold == 0.0
+
+    def test_dict_round_trip(self):
+        config = EnCoreConfig(min_confidence=0.8, use_entropy_filter=False)
+        assert EnCoreConfig.from_dict(config.to_dict()) == config
+
 
 class TestTrainCheck:
     def test_check_requires_training(self, held_out_image):
@@ -91,6 +102,13 @@ class TestPersistence:
     def test_save_without_model_raises(self, tmp_path):
         with pytest.raises(RuntimeError):
             EnCore().save_rules(tmp_path / "x.json")
+
+    def test_load_rules_without_model_raises(self, trained_encore, tmp_path):
+        """The docstring promises a trained model; enforce it loudly
+        instead of returning rules that never reach a detector."""
+        path = trained_encore.save_rules(tmp_path / "rules.json")
+        with pytest.raises(RuntimeError, match="trained model"):
+            EnCore().load_rules(path)
 
     def test_rules_reusable_across_instances(self, trained_encore, tmp_path, small_corpus):
         """'The learned rules can be reused to check different systems'."""
