@@ -5,6 +5,7 @@ across the three applications and several seeds, reporting the range.
 """
 
 from conftest import TRAINING_IMAGES, archive, run_once
+from export import record_headline
 
 from repro.evaluation.injection import run_injection_experiment
 
@@ -13,6 +14,7 @@ def test_headline_detection_ratio(benchmark, results_dir):
     def run():
         ratios = []
         rows = []
+        runs = []
         for app in ("apache", "mysql", "php"):
             for seed in (17, 23):
                 result = run_injection_experiment(
@@ -24,9 +26,22 @@ def test_headline_detection_ratio(benchmark, results_dir):
                     f"  {app:8s} seed={seed}: baseline={result.baseline:2d} "
                     f"encore={result.encore:2d}  ratio={ratio:.2f}x"
                 )
-        return ratios, rows
+                runs.append({
+                    "app": app, "seed": seed,
+                    "training_images": TRAINING_IMAGES[app],
+                    "baseline_detected": result.baseline,
+                    "encore_detected": result.encore,
+                    "ratio": round(ratio, 3),
+                })
+        return ratios, rows, runs
 
-    ratios, rows = run_once(benchmark, run)
+    ratios, rows, runs = run_once(benchmark, run)
+    record_headline("headline_detection", {
+        "runs": runs,
+        "ratio_min": round(min(ratios), 3),
+        "ratio_max": round(max(ratios), 3),
+        "paper_range": [1.6, 3.5],
+    })
     text = "\n".join(
         ["EnCore / Baseline detection ratios (Table 8 protocol):"]
         + rows

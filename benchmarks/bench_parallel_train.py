@@ -19,6 +19,7 @@ import os
 import time
 
 from conftest import archive, run_once
+from export import record_headline
 
 from repro.core.pipeline import EnCore
 from repro.corpus.generator import Ec2CorpusGenerator
@@ -77,6 +78,17 @@ def test_parallel_assembly_speedup(benchmark, results_dir):
         f"(identical: {serial_rules == sharded_rules})",
     ])
     archive(results_dir, "parallel_train", text)
+    record_headline("parallel_train", {
+        "corpus_size": CORPUS_SIZE,
+        "workers": WORKERS,
+        "serial_assemble_seconds": round(serial_assemble, 3),
+        "sharded_assemble_seconds": round(sharded_assemble, 3),
+        "assembly_speedup": round(speedup, 3),
+        "serial_total_seconds": round(serial_total, 3),
+        "sharded_total_seconds": round(sharded_total, 3),
+        "rules": serial_model.rule_count,
+        "rules_identical": serial_rules == sharded_rules,
+    })
 
     assert serial_rules == sharded_rules
     if cores >= WORKERS:

@@ -10,12 +10,20 @@ the training set to EnCore together with the system to be checked"):
 * ``suggest``  — same as check, plus remediation suggestions;
 * ``audit``    — sweep a directory of snapshots and summarise findings;
 * ``stats``    — train (and optionally check), then print the per-stage
-  timing / coverage telemetry table.
+  timing / coverage telemetry table;
+* ``explain``  — answer "why did this warning fire?" for one attribute
+  of one target: observed vs. expected values, the environment facts
+  consulted, and the violated rule's full training provenance;
+* ``ledger``   — show or diff the persistent run ledger.
 
 Every subcommand accepts the observability options: ``-v``/``-q`` set
 the structured-log verbosity, ``--trace FILE`` saves a nested-span JSON
 trace of the run, and ``--metrics FILE`` (``-`` for stdout) dumps the
-metrics-registry snapshot.
+metrics-registry snapshot.  Model-bearing runs append one entry to the
+run ledger (``.encore/ledger.jsonl``; override with ``--ledger FILE``,
+suppress with ``--no-ledger``) recording config/dataset fingerprints,
+the rule-set digest, warning counts and the drift summary — compare
+runs with ``repro ledger diff``.
 
 Example::
 
@@ -29,8 +37,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.pipeline import EnCore, EnCoreConfig
 from repro.core.repair import RepairAdvisor
@@ -73,6 +82,67 @@ def _workers(args: argparse.Namespace) -> int:
 
 def _chunk_size(args: argparse.Namespace) -> Optional[int]:
     return getattr(args, "chunk_size", None)
+
+
+def _count_kinds(reports) -> Dict[str, int]:
+    """Warning kind → count across one or more reports."""
+    out: Dict[str, int] = {}
+    for report in reports:
+        for warning in report.warnings:
+            out[warning.kind.value] = out.get(warning.kind.value, 0) + 1
+    return out
+
+
+def _record_ledger(
+    args: argparse.Namespace,
+    encore: EnCore,
+    command: str,
+    targets_checked: int = 0,
+    warning_counts: Optional[Dict[str, int]] = None,
+):
+    """Append this run to the run ledger (unless ``--no-ledger``)."""
+    if getattr(args, "no_ledger", False) or encore.model is None:
+        return None
+    from repro.obs.ledger import (
+        LedgerEntry, default_ledger, fingerprint_payload, metric_totals,
+    )
+
+    model = encore.model
+    drift: Dict[str, object] = {}
+    if encore.drift is not None and encore.drift.targets:
+        drift = encore.drift.summary().to_dict()
+    timing = {k: round(v, 6) for k, v in model.telemetry.items()}
+    started = getattr(args, "_run_started", None)
+    if started is not None:
+        timing["run_seconds"] = round(time.monotonic() - started, 6)
+    entry = LedgerEntry(
+        command=command,
+        config_fingerprint=fingerprint_payload(encore.worker_config().to_dict()),
+        dataset_fingerprint=model.corpus_fingerprint(),
+        ruleset_digest=model.ruleset_digest(),
+        rule_count=model.rule_count,
+        training_size=len(model.dataset),
+        targets_checked=targets_checked,
+        warning_counts=dict(warning_counts or {}),
+        drift=drift,
+        timing=timing,
+        metrics=metric_totals(get_registry()),
+        workers=_workers(args),
+    )
+    ledger = default_ledger(getattr(args, "ledger", None))
+    ledger.append(entry)
+    log.info("ledger.recorded", run_id=entry.run_id, path=str(ledger.path))
+    return entry
+
+
+def _drift_warnings(encore: EnCore) -> Optional[str]:
+    """The drift section to print after checking, None when quiet."""
+    if encore.drift is None or not encore.drift.targets:
+        return None
+    summary = encore.drift.summary()
+    if not summary.drifted and not summary.new_attributes:
+        return None
+    return summary.render()
 
 
 def _train(args: argparse.Namespace, encore: EnCore) -> None:
@@ -119,6 +189,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         encore.save_model(args.model)
         log.info("model.saved", path=args.model)
         print(f"model snapshot saved to {args.model}")
+    _record_ledger(args, encore, "train")
     return 0
 
 
@@ -145,6 +216,12 @@ def cmd_check(args: argparse.Namespace) -> int:
     else:
         print()
         print(report.render(limit=args.limit))
+        drift = _drift_warnings(encore)
+        if drift:
+            print()
+            print(drift)
+    _record_ledger(args, encore, "check", targets_checked=1,
+                   warning_counts=_count_kinds([report]))
     return 0 if not report.warnings else 1
 
 
@@ -158,6 +235,8 @@ def cmd_suggest(args: argparse.Namespace) -> int:
     advisor = RepairAdvisor(encore.model.dataset)
     target = encore.assembler.assemble(target_image)
     suggestions = advisor.suggest(report, target)
+    _record_ledger(args, encore, "suggest", targets_checked=1,
+                   warning_counts=_count_kinds([report]))
     if not suggestions:
         print("\nno remediation suggestions (clean system)")
         return 0
@@ -179,7 +258,12 @@ def cmd_audit(args: argparse.Namespace) -> int:
     stream = encore.check_stream(
         targets, workers=_workers(args), chunk_size=_chunk_size(args)
     )
+    warning_counts: Dict[str, int] = {}
     for report in stream:
+        for warning in report.warnings:
+            warning_counts[warning.kind.value] = (
+                warning_counts.get(warning.kind.value, 0) + 1
+            )
         if report.warnings:
             flagged += 1
             top = report.warnings[0]
@@ -188,6 +272,11 @@ def cmd_audit(args: argparse.Namespace) -> int:
         elif args.verbose:
             print(f"{report.image_id}: clean")
     print(f"\naudit complete: {flagged}/{len(targets)} systems flagged")
+    drift = _drift_warnings(encore)
+    if drift:
+        print(drift)
+    _record_ledger(args, encore, "audit", targets_checked=len(targets),
+                   warning_counts=warning_counts)
     return 0
 
 
@@ -195,14 +284,25 @@ def cmd_stats(args: argparse.Namespace) -> int:
     """Train (and optionally check targets), then print the telemetry table."""
     encore = _build_encore(args)
     _train(args, encore)
+    warning_counts: Dict[str, int] = {}
+    targets_checked = 0
     if args.targets:
         stream = encore.check_stream(
             _load_corpus(Path(args.targets)),
             workers=_workers(args), chunk_size=_chunk_size(args),
         )
         for report in stream:
+            targets_checked += 1
+            for warning in report.warnings:
+                warning_counts[warning.kind.value] = (
+                    warning_counts.get(warning.kind.value, 0) + 1
+                )
             log.debug("target.checked", image=report.image_id,
                       warnings=len(report.warnings))
+    if encore.drift is not None and encore.drift.targets:
+        # Sets the drift.psi.max / drift.attributes.drifted gauges so the
+        # telemetry table below includes the drift roll-up.
+        encore.drift.summary()
     registry = get_registry()
     if args.format == "json":
         print(registry.to_json())
@@ -211,7 +311,88 @@ def cmd_stats(args: argparse.Namespace) -> int:
     else:
         print()
         print(render_stats(registry), end="")
+        drift = _drift_warnings(encore)
+        if drift:
+            print(drift)
+    _record_ledger(args, encore, "stats", targets_checked=targets_checked,
+                   warning_counts=warning_counts)
     return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Answer "why did this warning fire?" for one target attribute."""
+    encore = _build_encore(args)
+    if args.model:
+        encore.load_model(args.model)
+        log.info("model.loaded", path=args.model)
+    else:
+        _train(args, encore)
+        if args.rules:
+            encore.load_rules(args.rules)
+            log.info("rules.loaded", path=args.rules)
+    target = load_image(Path(args.image))
+    report = encore.check(target)
+    matches = report.warnings_for_attribute(args.attribute)
+    if not matches:
+        print(
+            f"no warning fired on {args.attribute!r} for {target.image_id} "
+            f"({len(report.warnings)} warning(s) on other attributes)"
+        )
+        return 1
+    print(
+        f"{len(matches)} warning(s) on {args.attribute!r} for "
+        f"{target.image_id}:"
+    )
+    for rank, warning in matches:
+        print()
+        print(f"rank {rank}/{len(report.warnings)}: {warning}")
+        if warning.evidence:
+            print(f"  evidence: {warning.evidence}")
+        if warning.explanation:
+            explanation = warning.explanation
+            if explanation.observed is not None:
+                print(f"  observed: {explanation.observed!r}")
+            if explanation.expected:
+                print(f"  expected: {explanation.expected}")
+            for fact_attribute, fact_value in explanation.environment:
+                print(f"  fact: {fact_attribute} = {fact_value!r}")
+        provenance = warning.rule.provenance if warning.rule else None
+        if provenance is not None:
+            print(f"  rule provenance [{provenance.digest()}]:")
+            print(f"    {provenance.describe()}")
+            if provenance.contributing_images:
+                shown = list(provenance.contributing_images[:5])
+                extra = len(provenance.contributing_images) - len(shown)
+                listed = ", ".join(shown) + (f" (+{extra} more)" if extra else "")
+                print(f"    contributing images: {listed}")
+    return 0
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    """Show or diff the persistent run ledger."""
+    from repro.obs.ledger import default_ledger, diff_entries
+
+    ledger = default_ledger(getattr(args, "ledger", None))
+    if args.action == "show":
+        entries = ledger.last(args.last)
+        if not entries:
+            print(f"ledger {ledger.path} is empty")
+            return 0
+        for entry in entries:
+            print(entry.describe())
+        return 0
+    # diff: two refs (index or run-id prefix); default last two entries.
+    refs = list(args.refs) or ["-2", "-1"]
+    if len(refs) != 2:
+        raise SystemExit("ledger diff takes exactly two refs (or none)")
+    try:
+        a, b = ledger.resolve(refs[0]), ledger.resolve(refs[1])
+    except LookupError as exc:
+        raise SystemExit(str(exc))
+    diff = diff_entries(a, b)
+    print(diff.render())
+    # Exit 1 on semantic disagreement — what the CI consistency job keys on.
+    return 0 if diff.identical() else 1
 
 
 # -- argument parsing -------------------------------------------------------------
@@ -229,6 +410,10 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
                        help="write a nested-span JSON trace of this run")
     group.add_argument("--metrics", metavar="FILE",
                        help="write the metrics snapshot as JSON ('-' for stdout)")
+    group.add_argument("--ledger", metavar="FILE",
+                       help="run-ledger path (default: .encore/ledger.jsonl)")
+    group.add_argument("--no-ledger", action="store_true",
+                       help="do not append this run to the run ledger")
 
 
 def _add_model_options(parser: argparse.ArgumentParser) -> None:
@@ -308,11 +493,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="telemetry output format (default: table)")
     p.set_defaults(func=cmd_stats)
 
+    p = sub.add_parser(
+        "explain",
+        help="explain why warnings fired on one attribute of one target",
+    )
+    _add_obs_options(p)
+    _add_model_options(p)
+    p.add_argument("image", help="target snapshot (.json)")
+    p.add_argument("attribute",
+                   help="attribute (or entry-name tail) to explain")
+    p.add_argument("--rules", help="load rules from this JSON file instead")
+    p.add_argument("--model", help="load a full model snapshot (skips training)")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("ledger", help="show or diff the run ledger")
+    _add_obs_options(p)
+    p.add_argument("action", choices=["show", "diff"])
+    p.add_argument("refs", nargs="*",
+                   help="for diff: two entry refs, each an index (0, -1, ...) "
+                        "or a run-id prefix; default: the last two entries")
+    p.add_argument("--last", type=int, default=10, metavar="N",
+                   help="entries to list with 'show' (default: 10)")
+    p.set_defaults(func=cmd_ledger)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    args._run_started = time.monotonic()
     verbosity = -1 if getattr(args, "quiet", False) else getattr(args, "verbose", 0)
     configure_logging(verbosity=verbosity,
                       json_lines=getattr(args, "log_json", False))
@@ -334,9 +543,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             if metrics_dest == "-":
                 print(snapshot)
             else:
-                dest = Path(metrics_dest)
-                dest.parent.mkdir(parents=True, exist_ok=True)
-                dest.write_text(snapshot + "\n")
+                from repro.obs.fileio import atomic_write_text
+
+                atomic_write_text(metrics_dest, snapshot + "\n")
                 log.info("metrics.saved", path=metrics_dest)
 
 

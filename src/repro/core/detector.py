@@ -26,7 +26,7 @@ from __future__ import annotations
 import difflib
 from dataclasses import dataclass
 from enum import Enum
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import AssembledSystem, Dataset
 from repro.core.rules import ConcreteRule, RuleSet
@@ -46,12 +46,65 @@ class WarningKind(str, Enum):
 
 
 @dataclass(frozen=True)
+class Explanation:
+    """Why a warning fired: the structured account behind the message.
+
+    ``observed`` vs. ``expected`` state the disagreement; ``environment``
+    lists the facts (attribute → value pairs, including the ``env:`` and
+    augmented columns consulted) the verdict rested on; and
+    ``provenance_digest`` links a correlation warning back to the
+    violated rule's :class:`~repro.obs.model.Provenance` record, so
+    ``repro explain`` can trace it to the training images that taught
+    the rule.
+    """
+
+    observed: Optional[str] = None
+    expected: str = ""
+    environment: Tuple[Tuple[str, str], ...] = ()
+    provenance_digest: str = ""
+
+    def render(self) -> str:
+        parts = []
+        if self.observed is not None:
+            parts.append(f"observed {self.observed!r}")
+        if self.expected:
+            parts.append(f"expected {self.expected}")
+        if self.environment:
+            facts = ", ".join(f"{k}={v!r}" for k, v in self.environment)
+            parts.append(f"facts: {facts}")
+        if self.provenance_digest:
+            parts.append(f"rule provenance {self.provenance_digest}")
+        return "; ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "observed": self.observed,
+            "expected": self.expected,
+            "environment": [[k, v] for k, v in self.environment],
+            "provenance_digest": self.provenance_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Explanation":
+        return cls(
+            observed=data.get("observed"),
+            expected=str(data.get("expected", "")),
+            environment=tuple(
+                (str(k), str(v)) for k, v in data.get("environment", ())
+            ),
+            provenance_digest=str(data.get("provenance_digest", "")),
+        )
+
+
+@dataclass(frozen=True)
 class Warning:
     """One detector finding.
 
     ``score`` drives the ranking (higher = more suspicious); ``evidence``
     is a human-readable account of the training data supporting the
-    warning; ``rule`` is set for correlation violations.
+    warning; ``rule`` is set for correlation violations;
+    ``explanation`` is the structured observed-vs-expected record every
+    check attaches (see :class:`Explanation`).
     """
 
     kind: WarningKind
@@ -61,6 +114,7 @@ class Warning:
     value: Optional[str] = None
     evidence: str = ""
     rule: Optional[ConcreteRule] = None
+    explanation: Optional[Explanation] = None
 
     def __str__(self) -> str:
         return f"[{self.kind.value}] {self.attribute}: {self.message} (score={self.score:.3f})"
@@ -158,14 +212,19 @@ class AnomalyDetector:
                     f"{suggestions[0]!r}"
                 )
                 score = _BASE_SCORE[WarningKind.ENTRY_NAME] + 0.5
+                expected = f"a known {app} entry (closest: {suggestions[0]!r})"
             else:
                 message = f"entry {base_name!r} never seen in training set"
                 score = _BASE_SCORE[WarningKind.ENTRY_NAME]
+                expected = f"one of {len(known)} known {app} entries"
             out.append(
                 Warning(
                     WarningKind.ENTRY_NAME, attribute, message, score,
                     value=target.value(attribute),
                     evidence=f"{len(known)} known {app} entries",
+                    explanation=Explanation(
+                        observed=base_name, expected=expected,
+                    ),
                 )
             )
         return out
@@ -196,9 +255,36 @@ class AnomalyDetector:
                         f"training systems (conf={rule.confidence:.2f})"
                     ),
                     rule=rule,
+                    explanation=Explanation(
+                        observed=target.value(rule.attribute_a),
+                        expected=(
+                            f"{rule.attribute_a} {rule.relation} "
+                            f"{rule.attribute_b}"
+                        ),
+                        environment=self._correlation_facts(target, rule),
+                        provenance_digest=(
+                            rule.provenance.digest() if rule.provenance else ""
+                        ),
+                    ),
                 )
             )
         return out
+
+    @staticmethod
+    def _correlation_facts(
+        target: AssembledSystem, rule: ConcreteRule
+    ) -> Tuple[Tuple[str, str], ...]:
+        """The attribute values the rule verdict rested on.
+
+        Both rule sides' occurrences on the target, in attribute order —
+        including the ``env:`` and augmented columns environment-backed
+        templates consult (the paper's "environment information").
+        """
+        facts: List[Tuple[str, str]] = []
+        for attribute in (rule.attribute_a, rule.attribute_b):
+            for typed in target.values_of(attribute):
+                facts.append((attribute, typed.value))
+        return tuple(facts)
 
     # -- check 3: data types ------------------------------------------------------------
 
@@ -238,6 +324,13 @@ class AnomalyDetector:
                     evidence=(
                         f"training type {stats.type.value}, "
                         f"{stats.cardinality} distinct training value(s)"
+                    ),
+                    explanation=Explanation(
+                        observed=typed.value,
+                        expected=f"a value verifying as {stats.type.value}",
+                        environment=(
+                            (("env:available", str(target.environment_available)),)
+                        ),
                     ),
                 )
             )
@@ -279,6 +372,23 @@ class AnomalyDetector:
                         f"{stats.cardinality} distinct training value(s), "
                         f"ICF={icf:.3f}"
                     ),
+                    explanation=Explanation(
+                        observed=typed.value,
+                        expected=self._expected_values(stats),
+                    ),
                 )
             )
         return out
+
+    @staticmethod
+    def _expected_values(stats) -> str:
+        """Human phrasing of the training value population for check 4."""
+        ranked = sorted(stats.value_counts, key=lambda vc: (-vc[1], vc[0]))
+        top = [value for value, _ in ranked[:3]]
+        listed = ", ".join(repr(v) for v in top)
+        if stats.cardinality <= 3:
+            return f"one of the training values: {listed}"
+        return (
+            f"one of {stats.cardinality} training values "
+            f"(most common: {listed})"
+        )

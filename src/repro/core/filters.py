@@ -24,11 +24,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List
+from typing import Iterable, List
 
 from repro.core.rules import ConcreteRule
 from repro.core.templates import RuleTemplate
 from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
+from repro.obs.model import Provenance
 
 
 class FilterDecision(str, Enum):
@@ -119,3 +120,30 @@ class RuleFilterPipeline:
 
     def keeps(self, rule: ConcreteRule, template: RuleTemplate) -> bool:
         return self.decide(rule, template) is FilterDecision.KEPT
+
+    def provenance(
+        self,
+        rule: ConcreteRule,
+        template: RuleTemplate,
+        decision: FilterDecision,
+        contributing_images: Iterable[str] = (),
+    ) -> Provenance:
+        """The evidence record for one filtered candidate.
+
+        Built here — not in the inferencer — so the thresholds recorded
+        are exactly the ones this pipeline applied, and the rejecting
+        filter for dropped candidates matches :meth:`decide`'s verdict.
+        """
+        return Provenance(
+            template=rule.template_name,
+            contributing_images=tuple(contributing_images),
+            support=rule.support,
+            valid_count=rule.valid_count,
+            entropy_a=rule.entropy_a,
+            entropy_b=rule.entropy_b,
+            min_support=self.min_support,
+            min_confidence=self.min_confidence,
+            entropy_threshold=self.entropy_threshold,
+            entropy_filtered=self.use_entropy and template.entropy_filtered,
+            decision=decision.value,
+        )

@@ -17,7 +17,7 @@ combinatorics for the ablation benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import Dataset
@@ -27,6 +27,7 @@ from repro.core.templates import RuleTemplate, default_templates
 from repro.core.types import ConfigType
 from repro.mining.entropy import DEFAULT_ENTROPY_THRESHOLD
 from repro.obs.metrics import get_registry
+from repro.obs.model import Provenance
 from repro.obs.tracing import span
 
 
@@ -40,6 +41,12 @@ class InferenceResult:
     pre_entropy_rules: RuleSet
     decisions: Dict[Tuple[str, str, str], FilterDecision]
     candidate_pairs: int
+    #: Per-candidate evidence record (key → :class:`Provenance`),
+    #: covering kept rules *and* dropped candidates with their rejecting
+    #: filter.  Contributing image ids are retained only for candidates
+    #: that survived support+confidence — dropped ones keep counts only,
+    #: so the audit stays compact at mining scale.
+    audit: Dict[Tuple[str, str, str], Provenance] = field(default_factory=dict)
 
 
 class RuleInferencer:
@@ -139,6 +146,7 @@ class RuleInferencer:
         kept = RuleSet()
         pre_entropy = RuleSet()
         decisions: Dict[Tuple[str, str, str], FilterDecision] = {}
+        audit: Dict[Tuple[str, str, str], Provenance] = {}
         pair_count = 0
         registry = get_registry()
         with span("infer", templates=len(self.templates)) as infer_span:
@@ -150,12 +158,24 @@ class RuleInferencer:
                 with span("infer.template", template=template.name) as t_span:
                     for attr_a, attr_b in self._pairs(dataset, template):
                         t_pairs += 1
-                        rule = self._evaluate_pair(dataset, template, attr_a, attr_b)
-                        if rule is None:
+                        evaluated = self._evaluate_pair(
+                            dataset, template, attr_a, attr_b
+                        )
+                        if evaluated is None:
                             continue
+                        rule, contributors = evaluated
                         decision = pipeline.decide(rule, template)
+                        survived = decision in (
+                            FilterDecision.KEPT, FilterDecision.LOW_ENTROPY
+                        )
+                        provenance = pipeline.provenance(
+                            rule, template, decision,
+                            contributors if survived else (),
+                        )
+                        rule = replace(rule, provenance=provenance)
                         decisions[rule.key] = decision
-                        if decision in (FilterDecision.KEPT, FilterDecision.LOW_ENTROPY):
+                        audit[rule.key] = provenance
+                        if survived:
                             pre_entropy.add(rule)
                         if decision is FilterDecision.KEPT:
                             kept.add(rule)
@@ -178,6 +198,7 @@ class RuleInferencer:
             pre_entropy_rules=pre_entropy,
             decisions=decisions,
             candidate_pairs=pair_count,
+            audit=audit,
         )
 
     def _evaluate_pair(
@@ -186,10 +207,15 @@ class RuleInferencer:
         template: RuleTemplate,
         attr_a: str,
         attr_b: str,
-    ) -> Optional[ConcreteRule]:
-        """Gather verdicts for one instantiation across all systems."""
-        applicable = 0
+    ) -> Optional[Tuple[ConcreteRule, Tuple[str, ...]]]:
+        """Gather verdicts for one instantiation across all systems.
+
+        Returns the candidate rule plus the ids of the contributing
+        images (the systems where the rule was applicable — the
+        provenance population), in dataset order.
+        """
         valid = 0
+        contributors: List[str] = []
         for system in dataset:
             values_a = system.values_of(attr_a)
             values_b = system.values_of(attr_b)
@@ -198,24 +224,25 @@ class RuleInferencer:
             verdict = self._system_verdict(template, values_a, values_b, system)
             if verdict is None:
                 continue
-            applicable += 1
+            contributors.append(system.image_id)
             if verdict:
                 valid += 1
-        if applicable == 0:
+        if not contributors:
             return None
         stats_a = dataset.stats(attr_a)
         stats_b = dataset.stats(attr_b)
-        return ConcreteRule(
+        rule = ConcreteRule(
             template_name=template.name,
             attribute_a=attr_a,
             attribute_b=attr_b,
             relation=template.relation.value,
-            support=applicable,
+            support=len(contributors),
             valid_count=valid,
             entropy_a=stats_a.entropy if stats_a else 0.0,
             entropy_b=stats_b.entropy if stats_b else 0.0,
             description=template.description,
         )
+        return rule, tuple(contributors)
 
     @staticmethod
     def _system_verdict(template, values_a, values_b, system) -> Optional[bool]:

@@ -26,11 +26,14 @@ from repro.core.pipeline import TrainedModel
 from repro.core.rules import RuleSet
 from repro.core.types import ConfigType
 
-#: v2 adds the training provenance (``candidate_pairs``, ``telemetry``)
-#: so restored models stop fabricating an empty inference audit trail;
-#: v1 snapshots still load, with empty provenance.
-SNAPSHOT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+#: v2 added the training provenance (``candidate_pairs``, ``telemetry``)
+#: so restored models stop fabricating an empty inference audit trail.
+#: v3 adds *model observability*: per-rule :class:`~repro.obs.model.Provenance`
+#: records (inside each rule dict) and the training ``dataset_fingerprint``
+#: the run ledger and drift monitor key on.  v1/v2 snapshots still load —
+#: rules get ``provenance=None`` and the fingerprint defaults empty.
+SNAPSHOT_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 class DatasetSummary:
@@ -118,6 +121,7 @@ def model_to_dict(model: TrainedModel) -> Dict[str, object]:
         "rules": [rule.to_dict() for rule in model.rules],
         "candidate_pairs": model.inference.candidate_pairs,
         "telemetry": dict(model.telemetry),
+        "dataset_fingerprint": model.corpus_fingerprint(),
     }
 
 
@@ -129,6 +133,11 @@ class ModelSnapshot:
     rules: RuleSet
     candidate_pairs: int = 0
     telemetry: Dict[str, float] = field(default_factory=dict)
+    #: :meth:`~repro.core.dataset.Dataset.fingerprint` of the training
+    #: corpus the model was learned from ("" for pre-v3 snapshots) —
+    #: what the run ledger records so two checking runs can prove they
+    #: used the same model.
+    dataset_fingerprint: str = ""
 
 
 def snapshot_from_dict(data: Dict[str, object]) -> ModelSnapshot:
@@ -153,6 +162,7 @@ def snapshot_from_dict(data: Dict[str, object]) -> ModelSnapshot:
         rules=rules,
         candidate_pairs=int(data.get("candidate_pairs", 0)),
         telemetry={k: float(v) for k, v in data.get("telemetry", {}).items()},
+        dataset_fingerprint=str(data.get("dataset_fingerprint", "")),
     )
 
 
@@ -163,10 +173,10 @@ def summary_from_dict(data: Dict[str, object]) -> tuple:
 
 
 def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
-    """Write a model snapshot as JSON."""
-    out = Path(path)
-    out.write_text(json.dumps(model_to_dict(model)))
-    return out
+    """Write a model snapshot as JSON (atomically, creating parents)."""
+    from repro.obs.fileio import atomic_write_text
+
+    return atomic_write_text(path, json.dumps(model_to_dict(model)))
 
 
 def load_model_snapshot(path: Union[str, Path]) -> tuple:

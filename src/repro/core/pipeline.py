@@ -10,6 +10,7 @@ systems" (§3).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -79,10 +80,29 @@ class TrainedModel:
     #: Per-stage wall times (seconds) observed while this model was
     #: trained; snapshot-restored models carry the training run's values.
     telemetry: Dict[str, float] = field(default_factory=dict)
+    #: Training-corpus fingerprint carried by snapshot-restored models
+    #: (the full :class:`Dataset` computes its own on demand).
+    dataset_fingerprint: str = ""
 
     @property
     def rule_count(self) -> int:
         return len(self.rules)
+
+    def corpus_fingerprint(self) -> str:
+        """The training corpus' content hash (ledger / snapshot key).
+
+        Computed live when the model still holds the full dataset;
+        snapshot-restored models return the fingerprint the snapshot
+        recorded ("" for pre-v3 snapshots).
+        """
+        fingerprint = getattr(self.dataset, "fingerprint", None)
+        if callable(fingerprint):
+            return fingerprint()
+        return self.dataset_fingerprint
+
+    def ruleset_digest(self) -> str:
+        """SHA-256 of the serialised rule set (provenance included)."""
+        return hashlib.sha256(self.rules.to_json().encode()).hexdigest()
 
     def summary(self) -> dict:
         """Compact training summary (used by benches and examples)."""
@@ -126,6 +146,10 @@ class EnCore:
         self._rebuild_assembler()
         self.model: Optional[TrainedModel] = None
         self._detector: Optional[AnomalyDetector] = None
+        #: Corpus drift monitor, rebuilt whenever a model is trained or
+        #: restored; every checked target is observed against the
+        #: training baselines (see ``repro.obs.model``).
+        self.drift = None
 
     def _rebuild_assembler(self) -> None:
         self.assembler = DataAssembler(
@@ -284,7 +308,14 @@ class EnCore:
             inferencer=self.assembler.inferencer,
             templates=self._templates,
         )
+        self._rebuild_drift_monitor()
         return self.model
+
+    def _rebuild_drift_monitor(self) -> None:
+        from repro.obs.model import DriftMonitor
+
+        assert self.model is not None
+        self.drift = DriftMonitor.from_model(self.model.dataset)
 
     # -- checking ---------------------------------------------------------------------
 
@@ -295,6 +326,8 @@ class EnCore:
         with span("check", image=image.image_id) as s:
             with span("check.assemble"):
                 target = self.assembler.assemble(image)
+            if self.drift is not None:
+                self.drift.observe(target)
             warnings = self._detector.detect(target)
             s.annotate(warnings=len(warnings))
         return Report(image.image_id, warnings)
@@ -326,7 +359,7 @@ class EnCore:
 
         checker = BatchChecker(
             self.worker_config(), model_to_dict(self.model),
-            workers=workers, chunk_size=chunk_size,
+            workers=workers, chunk_size=chunk_size, drift=self.drift,
         )
         yield from checker.stream(images)
 
@@ -386,12 +419,14 @@ class EnCore:
             ),
             templates=self._templates,
             telemetry=dict(snapshot.telemetry),
+            dataset_fingerprint=snapshot.dataset_fingerprint,
         )
         self._detector = AnomalyDetector(
             snapshot.summary, snapshot.rules,
             inferencer=self.assembler.inferencer,
             templates=self._templates,
         )
+        self._rebuild_drift_monitor()
 
     def save_rules(self, path: Union[str, Path]) -> Path:
         """Persist the learned rules for reuse on other systems."""
@@ -418,6 +453,7 @@ class EnCore:
             inference=self.model.inference,
             templates=self._templates,
             telemetry=dict(self.model.telemetry),
+            dataset_fingerprint=self.model.dataset_fingerprint,
         )
         self._detector = AnomalyDetector(
             self.model.dataset, rules,

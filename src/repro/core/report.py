@@ -32,6 +32,28 @@ class Report:
             out[warning.kind] = out.get(warning.kind, 0) + 1
         return out
 
+    @staticmethod
+    def _matches(candidate: str, attribute: str) -> bool:
+        """Substring-tolerant attribute matching (tail without app prefix)."""
+        tail = candidate.split(":", 1)[-1]
+        return (
+            candidate == attribute
+            or candidate.endswith(":" + attribute)
+            or tail == attribute
+            # augmented columns of the named entry count as hits
+            or candidate.startswith(attribute + ".")
+            or tail.startswith(attribute + ".")
+        )
+
+    def _implicates(self, warning: Warning, attribute: str) -> bool:
+        if self._matches(warning.attribute, attribute):
+            return True
+        # Correlation warnings implicate both rule sides.
+        return warning.rule is not None and (
+            self._matches(warning.rule.attribute_a, attribute)
+            or self._matches(warning.rule.attribute_b, attribute)
+        )
+
     def rank_of_attribute(
         self, attribute: str, kind: Optional[WarningKind] = None
     ) -> Optional[int]:
@@ -40,28 +62,34 @@ class Report:
         Matching is substring-tolerant on the attribute tail so evaluation
         scenarios can name entries without app prefixes.
         """
-        def matches(candidate: str) -> bool:
-            tail = candidate.split(":", 1)[-1]
-            return (
-                candidate == attribute
-                or candidate.endswith(":" + attribute)
-                or tail == attribute
-                # augmented columns of the named entry count as hits
-                or candidate.startswith(attribute + ".")
-                or tail.startswith(attribute + ".")
-            )
-
         for rank, warning in enumerate(self.warnings, start=1):
             if kind is not None and warning.kind is not kind:
                 continue
-            if matches(warning.attribute):
-                return rank
-            # Correlation warnings implicate both rule sides.
-            if warning.rule is not None and (
-                matches(warning.rule.attribute_a) or matches(warning.rule.attribute_b)
-            ):
+            if self._implicates(warning, attribute):
                 return rank
         return None
+
+    def warnings_for_attribute(self, attribute: str) -> List[tuple]:
+        """Every ``(rank, warning)`` implicating *attribute*, ranked.
+
+        Matching is the :meth:`rank_of_attribute` tolerance plus
+        path-segment tails (``long_query_time`` finds
+        ``mysql:mysqld/long_query_time``), since ``repro explain`` users
+        type entry names, not assembled attribute paths.
+        """
+        def hits(warning: Warning) -> bool:
+            if self._implicates(warning, attribute):
+                return True
+            candidates = [warning.attribute]
+            if warning.rule is not None:
+                candidates += [warning.rule.attribute_a, warning.rule.attribute_b]
+            return any(c.endswith("/" + attribute) for c in candidates)
+
+        return [
+            (rank, warning)
+            for rank, warning in enumerate(self.warnings, start=1)
+            if hits(warning)
+        ]
 
     def detects(self, attribute: str) -> bool:
         return self.rank_of_attribute(attribute) is not None
@@ -91,6 +119,11 @@ class Report:
                     "value": warning.value,
                     "evidence": warning.evidence,
                     "rule": warning.rule.to_dict() if warning.rule else None,
+                    "explanation": (
+                        warning.explanation.to_dict()
+                        if warning.explanation
+                        else None
+                    ),
                 }
                 for rank, warning in enumerate(self.warnings, start=1)
             ],
@@ -103,6 +136,8 @@ class Report:
             lines.append(f"  {rank:>3}. {warning}")
             if warning.evidence:
                 lines.append(f"       evidence: {warning.evidence}")
+            if warning.explanation:
+                lines.append(f"       why: {warning.explanation.render()}")
         if len(self.warnings) > limit:
             lines.append(f"  ... {len(self.warnings) - limit} more")
         return "\n".join(lines)

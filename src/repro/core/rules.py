@@ -17,6 +17,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.dataset import AssembledSystem
 from repro.core.templates import RuleTemplate
+from repro.obs.model import Provenance
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,12 @@ class ConcreteRule:
     applicable (both attributes present and the validator returned a
     verdict), ``valid_count`` how many of those it held in, and
     ``confidence = valid_count / support``.
+
+    ``provenance`` (snapshot v3) is the evidence record behind the
+    rule — contributing training images, filter-stage statistics and
+    thresholds — attached by the inferencer and carried through
+    serialisation so a deployed detector can always answer "why does
+    this rule exist?".  Pre-v3 rule files load with ``provenance=None``.
     """
 
     template_name: str
@@ -38,6 +45,7 @@ class ConcreteRule:
     entropy_a: float = 0.0
     entropy_b: float = 0.0
     description: str = ""
+    provenance: Optional[Provenance] = None
 
     def __post_init__(self) -> None:
         if self.support < 0 or self.valid_count < 0:
@@ -86,7 +94,7 @@ class ConcreteRule:
         return False if applicable else None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "template": self.template_name,
             "attribute_a": self.attribute_a,
             "attribute_b": self.attribute_b,
@@ -97,9 +105,13 @@ class ConcreteRule:
             "entropy_b": self.entropy_b,
             "description": self.description,
         }
+        if self.provenance is not None:
+            out["provenance"] = self.provenance.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ConcreteRule":
+        provenance = data.get("provenance")
         return cls(
             template_name=str(data["template"]),
             attribute_a=str(data["attribute_a"]),
@@ -110,6 +122,9 @@ class ConcreteRule:
             entropy_a=float(data.get("entropy_a", 0.0)),
             entropy_b=float(data.get("entropy_b", 0.0)),
             description=str(data.get("description", "")),
+            provenance=(
+                Provenance.from_dict(provenance) if provenance else None
+            ),
         )
 
 

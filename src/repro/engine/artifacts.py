@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.dataset import AssembledSystem, PartialDataset
-from repro.core.detector import Warning, WarningKind
+from repro.core.detector import Explanation, Warning, WarningKind
 from repro.core.report import Report
 from repro.core.rules import ConcreteRule
 from repro.core.types import ConfigType
@@ -128,6 +128,9 @@ def warning_from_dict(data: Dict[str, Any]) -> Warning:
     rule: Optional[ConcreteRule] = None
     if data.get("rule"):
         rule = ConcreteRule.from_dict(data["rule"])
+    explanation: Optional[Explanation] = None
+    if data.get("explanation"):
+        explanation = Explanation.from_dict(data["explanation"])
     return Warning(
         kind=WarningKind(data["kind"]),
         attribute=data["attribute"],
@@ -136,6 +139,7 @@ def warning_from_dict(data: Dict[str, Any]) -> Warning:
         value=data.get("value"),
         evidence=data.get("evidence", ""),
         rule=rule,
+        explanation=explanation,
     )
 
 
@@ -149,17 +153,24 @@ def report_from_dict(data: Dict[str, Any]) -> Report:
 
 @dataclass
 class CheckResult:
-    """What one checking worker hands back: reports + telemetry."""
+    """What one checking worker hands back: reports + telemetry.
+
+    ``drift`` is a :meth:`repro.obs.model.DriftMonitor.to_dict` snapshot
+    of the worker's observation state; the coordinator folds it so the
+    drift summary is identical for any worker count.
+    """
 
     reports: List[Report]
     metrics: Dict[str, Any] = field(default_factory=dict)
     shard_index: int = 0
+    drift: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "reports": [r.to_dict() for r in self.reports],
             "metrics": self.metrics,
             "shard_index": self.shard_index,
+            "drift": self.drift,
         }
 
     @classmethod
@@ -168,4 +179,5 @@ class CheckResult:
             reports=[report_from_dict(r) for r in data["reports"]],
             metrics=dict(data.get("metrics", {})),
             shard_index=int(data.get("shard_index", 0)),
+            drift=dict(data.get("drift", {})),
         )

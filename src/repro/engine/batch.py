@@ -48,6 +48,7 @@ def _check_shard(payload: Dict[str, Any]) -> CheckResult:
         reports=reports,
         metrics=get_registry().to_dict(),
         shard_index=payload["shard_index"],
+        drift=encore.drift.to_dict() if encore.drift is not None else {},
     )
 
 
@@ -60,6 +61,7 @@ class BatchChecker:
         model_payload: Dict[str, Any],
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        drift=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -67,6 +69,10 @@ class BatchChecker:
         self.model_payload = model_payload
         self.workers = workers
         self.chunk_size = chunk_size
+        #: Coordinator-side :class:`~repro.obs.model.DriftMonitor` the
+        #: workers' observation snapshots fold into (shard merges are
+        #: associative, so totals match a serial run exactly).
+        self.drift = drift
 
     def stream(self, images: Iterable[SystemImage]) -> Iterator[Report]:
         """Yield one report per target, in input order, as shards finish."""
@@ -107,9 +113,10 @@ class BatchChecker:
             self._fold(result)
             yield from result.reports
 
-    @staticmethod
-    def _fold(result: CheckResult) -> None:
+    def _fold(self, result: CheckResult) -> None:
         merge_snapshot(result.metrics)
+        if self.drift is not None and result.drift:
+            self.drift.merge_snapshot(result.drift)
         get_registry().counter("check.shards.total").inc()
 
 

@@ -36,6 +36,10 @@ class StageSpec:
     #: processes, merge outputs associatively), ``per-image`` (independent
     #: per target, streamable), or ``global`` (needs the whole input).
     parallelism: str
+    #: What the stage contributes to the observability record — where
+    #: rule provenance, drift observation and ledger facts attach (see
+    #: ``docs/observability.md``).
+    observability: str = ""
 
 
 #: The Figure 2 pipeline as explicit stages.  ``parse``/``type``/
@@ -46,31 +50,37 @@ STAGE_GRAPH: Tuple[StageSpec, ...] = (
         "parse", "split raw config files into key-value entries",
         consumes="SystemImage snapshot", produces="ConfigEntry list",
         parallelism="shardable",
+        observability="parse.* counters per app/file",
     ),
     StageSpec(
         "type", "infer a semantic type for every entry value (Table 4)",
         consumes="ConfigEntry list", produces="TypedValue list",
         parallelism="shardable",
+        observability="type-agreement statistics feed AttributeStats",
     ),
     StageSpec(
         "augment", "attach environment attributes to typed entries (Table 5)",
         consumes="TypedValue list + SystemImage", produces="AssembledSystem",
         parallelism="shardable",
+        observability="assemble.attributes.* growth counters",
     ),
     StageSpec(
         "assemble", "accumulate rows into mergeable corpus statistics (§4.1)",
         consumes="AssembledSystem stream", produces="PartialDataset → Dataset",
         parallelism="shardable",
+        observability="dataset fingerprint (ledger key) + drift baselines",
     ),
     StageSpec(
         "infer", "template-guided rule learning with filtering (§5)",
         consumes="Dataset", produces="InferenceResult (RuleSet)",
         parallelism="global",
+        observability="Provenance per candidate (kept + rejecting filter)",
     ),
     StageSpec(
         "detect", "run the four checks against each target (§6)",
         consumes="ModelSnapshot + SystemImage", produces="Report",
         parallelism="per-image",
+        observability="Explanation per warning; DriftMonitor.observe per target",
     ),
 )
 
@@ -86,6 +96,8 @@ def render_stage_graph() -> str:
     for spec in STAGE_GRAPH:
         lines.append(f"{spec.name:>8}  [{spec.parallelism}] {spec.summary}")
         lines.append(f"{'':>8}  {spec.consumes} -> {spec.produces}")
+        if spec.observability:
+            lines.append(f"{'':>8}  observes: {spec.observability}")
     return "\n".join(lines)
 
 

@@ -8,7 +8,17 @@ Three cooperating layers, all dependency-free:
 * :mod:`repro.obs.tracing` — hierarchical :func:`span` timing with an
   optional :class:`Tracer` retaining the tree for JSON export;
 * :mod:`repro.obs.logging` — structured (key=value or JSON-lines)
-  loggers behind one :func:`configure` entry point.
+  loggers behind one :func:`configure` entry point;
+* :mod:`repro.obs.model` — model observability: :class:`Provenance`
+  (the evidence record behind every learned rule) and
+  :class:`DriftMonitor` (checked-fleet vs. training-corpus
+  distribution drift, PSI/KL per attribute);
+* :mod:`repro.obs.ledger` — the append-only run ledger every CLI
+  train/check/audit run records into, with :func:`diff_entries` for
+  run-over-run regression comparison;
+* :mod:`repro.obs.fileio` — crash-safe output primitives
+  (:func:`atomic_write_text`, :func:`append_line`) behind every
+  trace / metrics / ledger file the layer writes.
 
 Every pipeline stage records into the active registry by default, so any
 ``train()`` + ``check()`` run can be inspected after the fact::
@@ -22,7 +32,10 @@ from paper Tables 2/3 and §7 to metric names.
 """
 
 from repro.obs.console import render_stats
+from repro.obs.fileio import atomic_write_text, append_line
+from repro.obs.ledger import Ledger, LedgerEntry, diff_entries
 from repro.obs.logging import StructuredLogger, configure, get_logger
+from repro.obs.model import DriftMonitor, DriftSummary, Provenance
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -37,13 +50,21 @@ from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
 
 __all__ = [
     "Counter",
+    "DriftMonitor",
+    "DriftSummary",
     "Gauge",
     "Histogram",
+    "Ledger",
+    "LedgerEntry",
     "MetricsRegistry",
+    "Provenance",
     "Span",
     "StructuredLogger",
     "Tracer",
+    "append_line",
+    "atomic_write_text",
     "configure",
+    "diff_entries",
     "get_logger",
     "get_registry",
     "get_tracer",

@@ -25,18 +25,24 @@ def _timing_rows(registry: MetricsRegistry) -> List[Tuple[str, int, float, float
     for name in registry.names():
         if not name.endswith(".seconds"):
             continue
-        for metric in registry.series(name).values():
+        # Sorted label-set iteration + a full sort key make the table a
+        # pure function of the snapshot, not of metric insertion order.
+        for _, metric in sorted(registry.series(name).items()):
             if isinstance(metric, Histogram) and metric.count:
                 stage = name[: -len(".seconds")]
                 rows.append((stage, metric.count, metric.sum, metric.mean))
-    rows.sort(key=lambda r: -r[2])
+    rows.sort(key=lambda r: (-r[2], r[0]))
     return rows
 
 
 def _label_totals(registry: MetricsRegistry, name: str, label: str) -> Dict[str, float]:
-    """Counter totals per value of one label, summed over other labels."""
+    """Counter totals per value of one label, summed over other labels.
+
+    Label sets are folded in sorted order so the float accumulation (and
+    therefore the rendered totals) is identical for any insertion order.
+    """
     out: Dict[str, float] = {}
-    for labelset, metric in registry.series(name).items():
+    for labelset, metric in sorted(registry.series(name).items()):
         labels = dict(labelset)
         if label in labels and not isinstance(metric, Histogram):
             key = labels[label]
@@ -119,6 +125,20 @@ def render_stats(registry: MetricsRegistry) -> str:
         for kind in sorted(by_kind):
             lines.append(f"  {kind}: {_fmt_count(by_kind[kind])}")
         out += _section("detection (§6)", lines)
+
+    observed = registry.total("drift.targets.total")
+    if observed:
+        lines = [
+            f"targets observed: {_fmt_count(observed)}",
+            f"new attributes: {_fmt_count(registry.total('drift.attributes.new'))}",
+            f"unseen values: {_fmt_count(registry.total('drift.values.unseen'))}",
+        ]
+        psi_max = registry.total("drift.psi.max")
+        drifted = registry.total("drift.attributes.drifted")
+        if psi_max or drifted:
+            lines.append(f"max attribute PSI: {psi_max:.3f}")
+            lines.append(f"attributes above threshold: {_fmt_count(drifted)}")
+        out += _section("corpus drift", lines)
 
     if not out:
         return "no telemetry recorded\n"

@@ -1,0 +1,61 @@
+"""Crash-safe file output for observability artifacts.
+
+Traces, metrics snapshots and ledger entries are written mid-run or in
+``finally`` blocks — exactly the moments a crashing process would
+otherwise leave a truncated JSON file behind, or fail outright because
+``--trace runs/today/trace.json`` names a directory that does not exist
+yet.  :func:`atomic_write_text` closes both holes: parent directories
+are created on demand, and content lands under a temporary name in the
+same directory before an :func:`os.replace` makes it visible — readers
+only ever see the old file or the complete new one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def ensure_parent(path: Union[str, Path]) -> Path:
+    """Create *path*'s parent directory tree; returns *path* as a Path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write *text* to *path* atomically (tmp file + ``os.replace``).
+
+    The temporary file carries the writer's pid so concurrent writers
+    (e.g. two benchmark processes archiving into the same results
+    directory) never clobber each other's in-flight content; the final
+    rename is atomic on POSIX, so a reader sees either the previous
+    content or the new content, never a prefix.
+    """
+    path = ensure_parent(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed or was interrupted
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path
+
+
+def append_line(path: Union[str, Path], line: str) -> Path:
+    """Append one newline-terminated line to *path*, creating parents.
+
+    A single ``write`` of one line on a file opened in append mode is
+    the JSONL-ledger write primitive: O_APPEND makes concurrent
+    appenders interleave at line granularity rather than corrupt each
+    other.
+    """
+    path = ensure_parent(path)
+    with open(path, "a") as handle:
+        handle.write(line.rstrip("\n") + "\n")
+    return path

@@ -108,10 +108,12 @@ class Tracer:
         return json.dumps(self.to_dict(), indent=indent)
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n")
-        return path
+        """Write the trace atomically (parents created, tmp + replace):
+        a crash mid-save leaves the previous file, never a truncated
+        JSON document."""
+        from repro.obs.fileio import atomic_write_text
+
+        return atomic_write_text(path, self.to_json() + "\n")
 
     def reset(self) -> None:
         self.roots.clear()

@@ -83,6 +83,79 @@ class TestSnapshotRoundtrip:
         assert len(snapshot.rules) == trained_encore.model.rule_count
 
 
+def _downgrade(data, version):
+    """Strip a v3 model dict down to the surface of an older version."""
+    import copy
+
+    old = copy.deepcopy(data)
+    old["version"] = version
+    old.pop("dataset_fingerprint", None)
+    for rule in old["rules"]:
+        rule.pop("provenance", None)
+    if version < 2:
+        old.pop("candidate_pairs", None)
+        old.pop("telemetry", None)
+    return old
+
+
+class TestSnapshotMigration:
+    """v1/v2 snapshots migrate to the v3 in-memory model and back."""
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_old_versions_roundtrip_to_v3(self, trained_encore, tmp_path,
+                                          version):
+        from repro.core.persistence import (
+            SNAPSHOT_VERSION, load_snapshot, snapshot_from_dict,
+        )
+
+        data = model_to_dict(trained_encore.model)
+        old = _downgrade(data, version)
+        snapshot = snapshot_from_dict(old)
+        # provenance defaults: absent in old snapshots, None after load
+        assert all(rule.provenance is None for rule in snapshot.rules)
+        assert snapshot.dataset_fingerprint == ""
+
+        # install and re-save: the rewritten snapshot is v3
+        fresh = EnCore()
+        (tmp_path / "old.json").write_text(json.dumps(old))
+        fresh.load_model(tmp_path / "old.json")
+        resaved = fresh.save_model(tmp_path / "new.json")
+        rewritten = json.loads(resaved.read_text())
+        assert rewritten["version"] == SNAPSHOT_VERSION
+        migrated = load_snapshot(resaved)
+        assert len(migrated.rules) == len(snapshot.rules)
+
+    def test_v3_snapshot_carries_provenance(self, trained_encore, tmp_path):
+        from repro.core.persistence import load_snapshot
+
+        path = save_model(trained_encore.model, tmp_path / "model.json")
+        snapshot = load_snapshot(path)
+        for rule in snapshot.rules:
+            assert rule.provenance is not None
+            assert rule.provenance.decision == "kept"
+            assert len(rule.provenance.contributing_images) == rule.support
+        assert (snapshot.dataset_fingerprint
+                == trained_encore.model.dataset.fingerprint())
+
+    def test_v3_check_identical_to_v1_check(self, trained_encore, tmp_path,
+                                            held_out_image):
+        """Provenance is evidence, not behaviour: detection unchanged."""
+        data = model_to_dict(trained_encore.model)
+        (tmp_path / "v1.json").write_text(json.dumps(_downgrade(data, 1)))
+        (tmp_path / "v3.json").write_text(json.dumps(data))
+        old, new = EnCore(), EnCore()
+        old.load_model(tmp_path / "v1.json")
+        new.load_model(tmp_path / "v3.json")
+        old_report = old.check(held_out_image)
+        new_report = new.check(held_out_image)
+        assert ([(w.kind, w.attribute) for w in old_report.warnings]
+                == [(w.kind, w.attribute) for w in new_report.warnings])
+
+    def test_load_rules_still_requires_model(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            EnCore().load_rules(tmp_path / "rules.json")
+
+
 class TestCheckingFromSnapshot:
     def test_check_without_training(self, trained_encore, tmp_path, held_out_image):
         """The headline property: ship the snapshot, check anywhere."""
