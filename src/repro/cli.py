@@ -14,7 +14,15 @@ the training set to EnCore together with the system to be checked"):
 * ``explain``  — answer "why did this warning fire?" for one attribute
   of one target: observed vs. expected values, the environment facts
   consulted, and the violated rule's full training provenance;
-* ``ledger``   — show or diff the persistent run ledger.
+* ``ledger``   — show or diff the persistent run ledger;
+* ``quarantine`` — list images dropped by the error policy in past runs.
+
+Corpus-scale commands run under an error policy (``--error-policy``,
+default ``quarantine``): images that fail to assemble are dropped with
+an auditable record instead of failing the run, up to the
+``--max-error-rate`` budget.  Exit codes reflect this: 0 = clean run,
+3 = succeeded but quarantined images (partial success), 1 = failure
+(including an exceeded error budget or a corrupt model snapshot).
 
 Every subcommand accepts the observability options: ``-v``/``-q`` set
 the structured-log verbosity, ``--trace FILE`` saves a nested-span JSON
@@ -72,6 +80,8 @@ def _build_encore(args: argparse.Namespace) -> EnCore:
         min_confidence=args.min_confidence,
         use_entropy_filter=not args.no_entropy,
         customization_text=customization,
+        error_policy=getattr(args, "error_policy", "quarantine"),
+        max_error_rate=getattr(args, "max_error_rate", 0.10),
     )
     return EnCore(config)
 
@@ -115,6 +125,10 @@ def _record_ledger(
     started = getattr(args, "_run_started", None)
     if started is not None:
         timing["run_seconds"] = round(time.monotonic() - started, 6)
+    quarantine_meta: Dict[str, int] = {}
+    if encore.quarantine.dropped:
+        quarantine_meta = dict(encore.quarantine.counts_by_stage())
+        quarantine_meta["total"] = encore.quarantine.dropped
     entry = LedgerEntry(
         command=command,
         config_fingerprint=fingerprint_payload(encore.worker_config().to_dict()),
@@ -128,11 +142,51 @@ def _record_ledger(
         timing=timing,
         metrics=metric_totals(get_registry()),
         workers=_workers(args),
+        quarantine=quarantine_meta,
     )
     ledger = default_ledger(getattr(args, "ledger", None))
     ledger.append(entry)
     log.info("ledger.recorded", run_id=entry.run_id, path=str(ledger.path))
     return entry
+
+
+def _finish_quarantine(
+    args: argparse.Namespace,
+    encore: EnCore,
+    command: str,
+    entry=None,
+    base: int = 0,
+) -> int:
+    """Persist and summarise this run's quarantine; compute the exit code.
+
+    Records go to the quarantine log (``--quarantine FILE``, default
+    ``.encore/quarantine.jsonl``) stamped with the run-ledger id so
+    ``repro quarantine show`` can group them by run.  A run that
+    otherwise succeeded (*base* 0) but dropped images under the
+    ``quarantine`` policy exits 3 — partial success, scriptable; any
+    non-zero *base* (warnings found, for ``check``) wins over that.
+    """
+    quarantine = encore.quarantine
+    if not quarantine.dropped:
+        return base
+    if quarantine.records:
+        from repro.core.resilience import DEFAULT_QUARANTINE_PATH, QuarantineLog
+
+        qlog = QuarantineLog(getattr(args, "quarantine", None)
+                             or DEFAULT_QUARANTINE_PATH)
+        qlog.append(quarantine.records,
+                    run_id=entry.run_id if entry is not None else "",
+                    command=command)
+        log.info("quarantine.recorded", count=len(quarantine.records),
+                 path=str(qlog.path))
+        print(f"\n{quarantine.render()}", file=sys.stderr)
+        print(f"quarantine log: {qlog.path}", file=sys.stderr)
+    else:
+        print(f"\nskipped {quarantine.dropped} unassemblable image(s) "
+              "(--error-policy skip)", file=sys.stderr)
+    if base == 0 and quarantine.records:
+        return 3
+    return base
 
 
 def _drift_warnings(encore: EnCore) -> Optional[str]:
@@ -189,8 +243,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         encore.save_model(args.model)
         log.info("model.saved", path=args.model)
         print(f"model snapshot saved to {args.model}")
-    _record_ledger(args, encore, "train")
-    return 0
+    entry = _record_ledger(args, encore, "train")
+    return _finish_quarantine(args, encore, "train", entry)
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -220,9 +274,10 @@ def cmd_check(args: argparse.Namespace) -> int:
         if drift:
             print()
             print(drift)
-    _record_ledger(args, encore, "check", targets_checked=1,
-                   warning_counts=_count_kinds([report]))
-    return 0 if not report.warnings else 1
+    entry = _record_ledger(args, encore, "check", targets_checked=1,
+                           warning_counts=_count_kinds([report]))
+    base = 0 if not report.warnings else 1
+    return _finish_quarantine(args, encore, "check", entry, base=base)
 
 
 def cmd_suggest(args: argparse.Namespace) -> int:
@@ -235,17 +290,17 @@ def cmd_suggest(args: argparse.Namespace) -> int:
     advisor = RepairAdvisor(encore.model.dataset)
     target = encore.assembler.assemble(target_image)
     suggestions = advisor.suggest(report, target)
-    _record_ledger(args, encore, "suggest", targets_checked=1,
-                   warning_counts=_count_kinds([report]))
+    entry = _record_ledger(args, encore, "suggest", targets_checked=1,
+                           warning_counts=_count_kinds([report]))
     if not suggestions:
         print("\nno remediation suggestions (clean system)")
-        return 0
+        return _finish_quarantine(args, encore, "suggest", entry)
     print("\nremediation suggestions:")
     for suggestion in suggestions[: args.limit]:
         print(f"  {suggestion}")
         if suggestion.rationale:
             print(f"      rationale: {suggestion.rationale}")
-    return 1
+    return _finish_quarantine(args, encore, "suggest", entry, base=1)
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
@@ -275,9 +330,9 @@ def cmd_audit(args: argparse.Namespace) -> int:
     drift = _drift_warnings(encore)
     if drift:
         print(drift)
-    _record_ledger(args, encore, "audit", targets_checked=len(targets),
-                   warning_counts=warning_counts)
-    return 0
+    entry = _record_ledger(args, encore, "audit", targets_checked=len(targets),
+                           warning_counts=warning_counts)
+    return _finish_quarantine(args, encore, "audit", entry)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -314,9 +369,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
         drift = _drift_warnings(encore)
         if drift:
             print(drift)
-    _record_ledger(args, encore, "stats", targets_checked=targets_checked,
-                   warning_counts=warning_counts)
-    return 0
+        if encore.quarantine.records:
+            print()
+            print(encore.quarantine.render())
+    entry = _record_ledger(args, encore, "stats", targets_checked=targets_checked,
+                           warning_counts=warning_counts)
+    return _finish_quarantine(args, encore, "stats", entry)
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -395,6 +453,33 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     return 0 if diff.identical() else 1
 
 
+def cmd_quarantine(args: argparse.Namespace) -> int:
+    """List images the error policy dropped in past runs."""
+    from repro.core.resilience import (
+        DEFAULT_QUARANTINE_PATH, QuarantineLog, QuarantineRecord,
+    )
+
+    qlog = QuarantineLog(getattr(args, "quarantine", None)
+                         or DEFAULT_QUARANTINE_PATH)
+    if args.all:
+        entries = qlog.entries()[-args.last:]
+    else:
+        entries = qlog.last_run()
+    if not entries:
+        print(f"quarantine log {qlog.path} is empty")
+        return 0
+    if not args.all:
+        head = entries[0]
+        print(f"run {head.get('run_id') or '-'} "
+              f"({head.get('command') or '-'}): "
+              f"{len(entries)} quarantined image(s)")
+    for data in entries:
+        record = QuarantineRecord.from_dict(data)
+        prefix = f"{str(data.get('run_id') or '-'):<12}  " if args.all else "  "
+        print(f"{prefix}{record.describe()}")
+    return 0
+
+
 # -- argument parsing -------------------------------------------------------------
 
 
@@ -414,6 +499,9 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
                        help="run-ledger path (default: .encore/ledger.jsonl)")
     group.add_argument("--no-ledger", action="store_true",
                        help="do not append this run to the run ledger")
+    group.add_argument("--quarantine", metavar="FILE",
+                       help="quarantine-log path "
+                            "(default: .encore/quarantine.jsonl)")
 
 
 def _add_model_options(parser: argparse.ArgumentParser) -> None:
@@ -433,6 +521,18 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-size", type=int, default=None, metavar="M",
                         help="images per worker shard (default: computed "
                              "from the corpus size and worker count)")
+    parser.add_argument("--error-policy",
+                        choices=["strict", "quarantine", "skip"],
+                        default="quarantine",
+                        help="per-image failure handling on corpus paths: "
+                             "strict fails the run on the first bad image, "
+                             "quarantine (default) drops it with an auditable "
+                             "record, skip drops it silently")
+    parser.add_argument("--max-error-rate", type=float, default=0.10,
+                        metavar="R",
+                        help="abort when more than this fraction of the "
+                             "corpus is dropped (default: 0.10; ignored "
+                             "under --error-policy strict)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -516,6 +616,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="entries to list with 'show' (default: 10)")
     p.set_defaults(func=cmd_ledger)
 
+    p = sub.add_parser(
+        "quarantine", help="list images dropped by the error policy"
+    )
+    _add_obs_options(p)
+    p.add_argument("action", choices=["show"])
+    p.add_argument("--all", action="store_true",
+                   help="every recorded run, not just the most recent")
+    p.add_argument("--last", type=int, default=50, metavar="N",
+                   help="records to list with --all (default: 50)")
+    p.set_defaults(func=cmd_quarantine)
+
     return parser
 
 
@@ -530,8 +641,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "trace", None):
         tracer = Tracer()
         set_tracer(tracer)
+    from repro.core.persistence import SnapshotCorruptError
+    from repro.core.resilience import ErrorBudgetExceeded
+
     try:
         return args.func(args)
+    except ErrorBudgetExceeded as exc:
+        log.error("run.aborted", error="ErrorBudgetExceeded")
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except SnapshotCorruptError as exc:
+        log.error("run.aborted", error="SnapshotCorruptError")
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             set_tracer(None)

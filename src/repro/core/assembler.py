@@ -9,17 +9,27 @@ attributes, and appends system-wide environment columns.  The output is an
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from repro.core.augment import Augmenter
 from repro.core.collector import RawCollection
 from repro.core.dataset import AssembledSystem, Dataset, PartialDataset
+from repro.core.resilience import (
+    DEFAULT_MAX_ERROR_RATE,
+    ErrorPolicy,
+    Quarantine,
+    enforce_error_budget,
+    record_from_exception,
+)
 from repro.core.types import ConfigType, TypeInferencer, TypeRegistry
+from repro.obs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import span
 from repro.parsers.base import ConfigEntry
 from repro.parsers.registry import ParserRegistry, default_registry
 from repro.sysmodel.image import SystemImage
+
+log = get_logger("core.assembler")
 
 
 class DataAssembler:
@@ -28,6 +38,15 @@ class DataAssembler:
     ``augment_environment=False`` disables all environment integration,
     producing the table the plain value-comparison baseline sees (Table 8's
     "Baseline" row) and the "Original" column of Table 2.
+
+    ``error_policy`` controls per-image fault isolation on the corpus
+    paths (:meth:`assemble_partial` / :meth:`assemble_corpus`): under
+    ``strict`` (the constructor default, preserving historical
+    behaviour) the first bad image fails the run; under ``quarantine``
+    or ``skip`` the bad image is dropped — with or without an auditable
+    :class:`~repro.core.resilience.QuarantineRecord` — and assembly
+    continues with the survivors.  :class:`EnCore` instances default to
+    ``quarantine`` via :class:`~repro.core.pipeline.EnCoreConfig`.
     """
 
     def __init__(
@@ -36,11 +55,24 @@ class DataAssembler:
         type_registry: Optional[TypeRegistry] = None,
         augmenter: Optional[Augmenter] = None,
         augment_environment: bool = True,
+        error_policy: Union[str, ErrorPolicy] = ErrorPolicy.STRICT,
+        max_error_rate: float = DEFAULT_MAX_ERROR_RATE,
     ) -> None:
         self.parsers = parsers if parsers is not None else default_registry()
         self.inferencer = TypeInferencer(type_registry)
         self.augmenter = augmenter if augmenter is not None else Augmenter()
         self.augment_environment = augment_environment
+        self.error_policy = ErrorPolicy.parse(error_policy)
+        self.max_error_rate = max_error_rate
+        #: Records of every image dropped by a non-strict policy.
+        self.quarantine = Quarantine()
+        #: Test-only fault hook (see :mod:`repro.testing.faults`), called
+        #: with each image before assembly on the isolated corpus paths.
+        self.fault_hook: Optional[Callable[[SystemImage], None]] = None
+        #: Stage marker maintained by :meth:`assemble` so quarantine
+        #: records can name the failing stage and source file.
+        self._stage = ""
+        self._source = ""
 
     # -- single system ----------------------------------------------------------
 
@@ -51,10 +83,13 @@ class DataAssembler:
         )
         parsed_entries = 0
         for config in image.config_files():
+            self._stage, self._source = "parse", config.path
             entries = self.parsers.parse(config.app, config.text, config.path)
             parsed_entries += len(entries)
+            self._stage = "augment"
             for entry in entries:
                 self._add_entry(system, entry, image)
+        self._stage, self._source = "environment", ""
         if self.augment_environment:
             for name, attr in Augmenter.environment_attributes(image).items():
                 system.set(f"env:{name}", attr.value, attr.type, augmented=True)
@@ -99,22 +134,71 @@ class DataAssembler:
 
     # -- corpora ---------------------------------------------------------------
 
-    def assemble_partial(self, images: Iterable[SystemImage]) -> PartialDataset:
+    def assemble_partial(
+        self, images: Iterable[SystemImage], shard_index: int = -1
+    ) -> PartialDataset:
         """Assemble a chunk of images into a mergeable partial dataset.
 
         This is the unit of work a sharded-assembly worker performs; the
         serial corpus path folds through the same accumulation so both
-        routes produce identical statistics.
+        routes produce identical statistics.  Under a non-strict
+        :attr:`error_policy`, images that fail to assemble are dropped
+        into :attr:`quarantine` instead of failing the chunk — the
+        returned partial covers exactly the clean subset, in input
+        order, so downstream rules match training on the clean images
+        alone.
         """
         partial = PartialDataset()
         for image in images:
-            partial.add(self.assemble(image))
+            system = self._assemble_guarded(image, shard_index)
+            if system is not None:
+                partial.add(system)
         return partial
 
+    def _assemble_guarded(
+        self, image: SystemImage, shard_index: int = -1
+    ) -> Optional[AssembledSystem]:
+        """One image under the error policy; ``None`` when dropped."""
+        self._stage, self._source = "", ""
+        try:
+            if self.fault_hook is not None:
+                self.fault_hook(image)
+            return self.assemble(image)
+        except Exception as exc:
+            if self.error_policy is ErrorPolicy.STRICT:
+                raise
+            record = record_from_exception(
+                image.image_id, exc,
+                stage=self._stage, source_path=self._source,
+                shard_index=shard_index,
+            )
+            keep = self.error_policy is ErrorPolicy.QUARANTINE
+            self.quarantine.add(record, keep=keep)
+            get_registry().counter(
+                "quarantine.images.total", stage=record.stage
+            ).inc()
+            log.warning(
+                "image.quarantined", image=image.image_id, stage=record.stage,
+                error=record.error, source=record.source_path,
+            )
+            return None
+
     def assemble_corpus(self, images: Iterable[SystemImage]) -> Dataset:
-        """Assemble a full training set into a :class:`Dataset`."""
+        """Assemble a full training set into a :class:`Dataset`.
+
+        Under a non-strict policy this is also an error-budget boundary:
+        a corpus whose drop rate exceeds :attr:`max_error_rate` raises
+        :class:`~repro.core.resilience.ErrorBudgetExceeded` rather than
+        silently training on a sliver of the fleet.
+        """
+        images = list(images)
         with span("assemble.corpus") as s:
+            dropped_before = self.quarantine.dropped
             dataset = self.assemble_partial(images).finalize()
+            enforce_error_budget(
+                self.quarantine.dropped - dropped_before, len(images),
+                self.max_error_rate, self.error_policy,
+            )
             s.annotate(systems=len(dataset), attributes=len(dataset.attributes()))
         return dataset
 

@@ -36,6 +36,25 @@ SNAPSHOT_VERSION = 3
 SUPPORTED_VERSIONS = (1, 2, 3)
 
 
+class SnapshotCorruptError(ValueError):
+    """A model snapshot file exists but cannot be decoded.
+
+    Wraps the underlying :class:`json.JSONDecodeError` / missing-field
+    ``KeyError`` so callers (notably ``repro check``) can distinguish "the
+    snapshot is damaged" from programming errors and fail with a clean
+    message instead of a traceback.  Subclasses :class:`ValueError` so
+    pre-existing broad handlers keep working.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(
+            f"corrupt model snapshot {self.path}: {reason}; "
+            "re-create it with 'repro train --model'"
+        )
+
+
 class DatasetSummary:
     """The dataset surface the anomaly detector consumes.
 
@@ -181,9 +200,29 @@ def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
 
 def load_model_snapshot(path: Union[str, Path]) -> tuple:
     """(DatasetSummary, RuleSet) from a saved snapshot file."""
-    return summary_from_dict(json.loads(Path(path).read_text()))
+    snapshot = load_snapshot(path)
+    return snapshot.summary, snapshot.rules
 
 
 def load_snapshot(path: Union[str, Path]) -> ModelSnapshot:
-    """Full snapshot (including training provenance) from a saved file."""
-    return snapshot_from_dict(json.loads(Path(path).read_text()))
+    """Full snapshot (including training provenance) from a saved file.
+
+    Raises :class:`SnapshotCorruptError` when the file is not valid JSON
+    or lacks required snapshot fields (truncated writes, manual edits);
+    an unsupported-version error propagates unchanged — the file is
+    intact, the reader is just too old or too new for it.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotCorruptError(path, f"invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise SnapshotCorruptError(
+            path, f"expected a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return snapshot_from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise SnapshotCorruptError(
+            path, f"missing or malformed field ({type(exc).__name__}: {exc})"
+        ) from exc

@@ -38,6 +38,13 @@ class EnCoreConfig:
     ``customization_text`` is the optional Figure 6 file content; when
     given, its types, augmented attributes and templates are merged in
     before training.
+
+    ``error_policy`` / ``max_error_rate`` govern fault tolerance on the
+    corpus paths (see :mod:`repro.core.resilience` and
+    ``docs/robustness.md``): the default ``quarantine`` policy drops
+    unassemblable images with an auditable record and aborts only when
+    more than ``max_error_rate`` of the corpus is bad; ``strict``
+    restores historical fail-fast behaviour.
     """
 
     min_support_fraction: float = 0.10
@@ -47,8 +54,12 @@ class EnCoreConfig:
     restrict_types: bool = True
     augment_environment: bool = True
     customization_text: Optional[str] = None
+    error_policy: str = "quarantine"
+    max_error_rate: float = 0.10
 
     def __post_init__(self) -> None:
+        from repro.core.resilience import ErrorPolicy
+
         if not 0 <= self.min_support_fraction <= 1:
             raise ValueError("min_support_fraction must be in [0,1]")
         if not 0 <= self.min_confidence <= 1:
@@ -59,6 +70,9 @@ class EnCoreConfig:
                 f"(got {self.entropy_threshold}); the paper's default is "
                 f"{DEFAULT_ENTROPY_THRESHOLD}"
             )
+        self.error_policy = ErrorPolicy.parse(self.error_policy).value
+        if not 0 <= self.max_error_rate <= 1:
+            raise ValueError("max_error_rate must be in [0,1]")
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form; the payload worker processes rebuild from."""
@@ -146,6 +160,14 @@ class EnCore:
         self._rebuild_assembler()
         self.model: Optional[TrainedModel] = None
         self._detector: Optional[AnomalyDetector] = None
+        #: Shard-recovery knobs (see ``repro.core.resilience`` and
+        #: ``repro.engine.sharding``): ``retry_policy`` overrides the
+        #: default exponential backoff, ``shard_timeout`` bounds one
+        #: shard's wall time (None = no bound), ``fault_plan`` is the
+        #: test-only injection hook threaded through shard payloads.
+        self.retry_policy = None
+        self.shard_timeout: Optional[float] = None
+        self.fault_plan = None
         #: Corpus drift monitor, rebuilt whenever a model is trained or
         #: restored; every checked target is observed against the
         #: training baselines (see ``repro.obs.model``).
@@ -157,7 +179,19 @@ class EnCore:
             type_registry=self._type_registry,
             augmenter=self._augmenter,
             augment_environment=self.config.augment_environment,
+            error_policy=self.config.error_policy,
+            max_error_rate=self.config.max_error_rate,
         )
+
+    @property
+    def quarantine(self):
+        """Quarantine records of the most recent corpus-scale operation.
+
+        ``train``/``train_more`` reset the collection at the start of
+        each run; ``check_stream`` accumulates target-side records into
+        the same collection (distinguished by the ``check`` stage).
+        """
+        return self.assembler.quarantine
 
     # -- customization -------------------------------------------------------------
 
@@ -213,6 +247,8 @@ class EnCore:
         return ShardedAssembler(
             self.worker_config(), self.assembler,
             workers=workers, chunk_size=chunk_size,
+            retry=self.retry_policy, shard_timeout=self.shard_timeout,
+            fault_plan=self.fault_plan,
         )
 
     # -- training --------------------------------------------------------------------
@@ -230,6 +266,7 @@ class EnCore:
         serial run regardless of worker count or chunk size.
         """
         self._require_forkable(workers)
+        self.quarantine.clear()
         with span("train") as train_span:
             with span("train.assemble") as assemble_span:
                 dataset = self._sharded_assembler(workers, chunk_size).assemble(images)
@@ -268,6 +305,7 @@ class EnCore:
                 "statistics"
             )
         self._require_forkable(workers)
+        self.quarantine.clear()
         with span("train.more") as more_span:
             with span("train.assemble") as assemble_span:
                 fresh = self._sharded_assembler(workers, chunk_size).assemble(images)
@@ -350,8 +388,12 @@ class EnCore:
                 "check_stream() requires a trained model; call train() first"
             )
         if workers <= 1:
+            if self.fault_plan is not None and self.assembler.fault_hook is None:
+                self.assembler.fault_hook = self.fault_plan.hook
             for image in images:
-                yield self.check(image)
+                report = self._check_guarded(image)
+                if report is not None:
+                    yield report
             return
         self._require_forkable(workers)
         from repro.core.persistence import model_to_dict
@@ -360,8 +402,36 @@ class EnCore:
         checker = BatchChecker(
             self.worker_config(), model_to_dict(self.model),
             workers=workers, chunk_size=chunk_size, drift=self.drift,
+            quarantine=self.quarantine, fault_plan=self.fault_plan,
         )
         yield from checker.stream(images)
+
+    def _check_guarded(self, image: SystemImage):
+        """One target under the error policy; ``None`` when quarantined.
+
+        Mirrors the worker-side isolation in ``repro.engine.batch`` so
+        fleet checking behaves identically at any worker count.  The
+        single-target :meth:`check` stays fail-fast regardless of
+        policy: with exactly one target there is nothing to salvage.
+        """
+        from repro.core.resilience import ErrorPolicy, record_from_exception
+
+        policy = ErrorPolicy.parse(self.config.error_policy)
+        try:
+            if self.assembler.fault_hook is not None:
+                self.assembler.fault_hook(image)
+            return self.check(image)
+        except Exception as exc:
+            if policy is ErrorPolicy.STRICT:
+                raise
+            record = record_from_exception(image.image_id, exc, stage="check")
+            self.quarantine.add(record, keep=policy is ErrorPolicy.QUARANTINE)
+            from repro.obs.metrics import get_registry
+
+            get_registry().counter(
+                "quarantine.targets.total", stage=record.stage
+            ).inc()
+            return None
 
     def check_many(
         self,

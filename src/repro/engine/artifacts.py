@@ -103,12 +103,20 @@ class ShardResult:
     partial: PartialDataset
     metrics: Dict[str, Any] = field(default_factory=dict)
     shard_index: int = 0
+    #: Serialised :class:`~repro.core.resilience.QuarantineRecord` dicts
+    #: for images this shard dropped under a non-strict error policy.
+    quarantine: List[Dict[str, Any]] = field(default_factory=list)
+    #: Total images dropped, including silent ``skip``-policy drops that
+    #: keep no record — what the coordinator's error budget counts.
+    dropped: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "partial": partial_to_dict(self.partial),
             "metrics": self.metrics,
             "shard_index": self.shard_index,
+            "quarantine": list(self.quarantine),
+            "dropped": self.dropped,
         }
 
     @classmethod
@@ -117,6 +125,8 @@ class ShardResult:
             partial=partial_from_dict(data["partial"]),
             metrics=dict(data.get("metrics", {})),
             shard_index=int(data.get("shard_index", 0)),
+            quarantine=[dict(r) for r in data.get("quarantine", ())],
+            dropped=int(data.get("dropped", 0)),
         )
 
 
@@ -164,6 +174,10 @@ class CheckResult:
     metrics: Dict[str, Any] = field(default_factory=dict)
     shard_index: int = 0
     drift: Dict[str, Any] = field(default_factory=dict)
+    #: Serialised quarantine records for targets this shard dropped
+    #: under a non-strict error policy (no report is produced for them).
+    quarantine: List[Dict[str, Any]] = field(default_factory=list)
+    dropped: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -171,6 +185,8 @@ class CheckResult:
             "metrics": self.metrics,
             "shard_index": self.shard_index,
             "drift": self.drift,
+            "quarantine": list(self.quarantine),
+            "dropped": self.dropped,
         }
 
     @classmethod
@@ -180,4 +196,6 @@ class CheckResult:
             metrics=dict(data.get("metrics", {})),
             shard_index=int(data.get("shard_index", 0)),
             drift=dict(data.get("drift", {})),
+            quarantine=[dict(r) for r in data.get("quarantine", ())],
+            dropped=int(data.get("dropped", 0)),
         )

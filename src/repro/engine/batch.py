@@ -8,15 +8,21 @@ same JSON surface :mod:`repro.core.persistence` writes to disk) plus a
 chunk of target snapshots, rebuilds a detector, and returns a
 :class:`~repro.engine.artifacts.CheckResult`.
 
-Reports stream back in input order: the coordinator iterates
-``executor.map`` lazily, so early chunks are yielded to the caller
-while later chunks are still being checked.
+Reports stream back in input order as shards finish, so early targets
+surface while later chunks are still being checked.  Failure handling
+mirrors assembly (see ``docs/robustness.md``): inside a worker the
+configured error policy quarantines unparseable targets instead of
+failing the shard, and if the process pool breaks mid-stream — a worker
+segfaulted or was OOM-killed — the coordinator finishes the failed
+shard and everything after it serially in-process, with a warning and a
+``batch.serial_fallback.total`` metric, rather than dropping reports.
 """
 
 from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.core.report import Report
@@ -37,23 +43,43 @@ def default_check_chunk_size(n_items: int, workers: int) -> int:
 
 
 def _check_shard(payload: Dict[str, Any]) -> CheckResult:
-    """Worker entry point: check one chunk of target snapshot dicts."""
+    """Worker entry point: check one chunk of target snapshot dicts.
+
+    Targets are checked under the configured error policy: a target that
+    cannot be assembled is dropped into a quarantine record on the
+    result (no report) instead of failing the whole shard.
+    """
     from repro.core.pipeline import EnCore, EnCoreConfig
 
     set_registry(MetricsRegistry())
     encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
     encore.load_model_data(payload["model"])
-    reports = [encore.check(image_from_dict(d)) for d in payload["images"]]
+    if payload.get("faults"):
+        from repro.testing.faults import FaultPlan
+
+        encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
+    reports = []
+    for data in payload["images"]:
+        report = encore._check_guarded(image_from_dict(data))
+        if report is not None:
+            reports.append(report)
     return CheckResult(
         reports=reports,
         metrics=get_registry().to_dict(),
         shard_index=payload["shard_index"],
         drift=encore.drift.to_dict() if encore.drift is not None else {},
+        quarantine=encore.quarantine.to_dicts(),
+        dropped=encore.quarantine.dropped,
     )
 
 
 class BatchChecker:
-    """Stream reports for a fleet of targets across worker processes."""
+    """Stream reports for a fleet of targets across worker processes.
+
+    *quarantine* is the coordinator's :class:`~repro.core.resilience.Quarantine`
+    that worker-side drop records fold into; *fault_plan* is the
+    test-only injection hook shipped to workers inside shard payloads.
+    """
 
     def __init__(
         self,
@@ -62,6 +88,8 @@ class BatchChecker:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         drift=None,
+        quarantine=None,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -73,9 +101,11 @@ class BatchChecker:
         #: workers' observation snapshots fold into (shard merges are
         #: associative, so totals match a serial run exactly).
         self.drift = drift
+        self.quarantine = quarantine
+        self.fault_plan = fault_plan
 
     def stream(self, images: Iterable[SystemImage]) -> Iterator[Report]:
-        """Yield one report per target, in input order, as shards finish."""
+        """Yield one report per surviving target, in input order."""
         images = list(images)
         if not images:
             return
@@ -84,15 +114,17 @@ class BatchChecker:
         )
         chunks = chunked(images, chunk_size)
         config_dict = self.config.to_dict()
-        payloads = [
-            {
+        payloads: List[Dict[str, Any]] = []
+        for index, chunk in enumerate(chunks):
+            payload = {
                 "config": config_dict,
                 "model": self.model_payload,
                 "images": [image_to_dict(image) for image in chunk],
                 "shard_index": index,
             }
-            for index, chunk in enumerate(chunks)
-        ]
+            if self.fault_plan is not None:
+                payload["faults"] = self.fault_plan.to_dict()
+            payloads.append(payload)
         with span("check.batch", targets=len(images), workers=self.workers):
             try:
                 executor = ProcessPoolExecutor(
@@ -102,10 +134,30 @@ class BatchChecker:
                 log.warning("batch.pool_unavailable", error=str(exc))
                 yield from self._stream_serial(payloads)
                 return
-            with executor:
-                for result in executor.map(_check_shard, payloads):
+            serial_from: Optional[int] = None
+            try:
+                futures = [executor.submit(_check_shard, p) for p in payloads]
+                for index, future in enumerate(futures):
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # A worker died hard (segfault, OOM kill, crash
+                        # fault).  Every outstanding future is lost with
+                        # the pool, so finish this shard and the rest
+                        # in-process — slower, but no report is dropped.
+                        get_registry().counter("batch.serial_fallback.total").inc()
+                        log.warning(
+                            "batch.pool_broken", shard=index,
+                            remaining=len(payloads) - index,
+                        )
+                        serial_from = index
+                        break
                     self._fold(result)
                     yield from result.reports
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if serial_from is not None:
+                yield from self._stream_serial(payloads[serial_from:])
 
     def _stream_serial(self, payloads: List[Dict[str, Any]]) -> Iterator[Report]:
         for payload in payloads:
@@ -117,6 +169,8 @@ class BatchChecker:
         merge_snapshot(result.metrics)
         if self.drift is not None and result.drift:
             self.drift.merge_snapshot(result.drift)
+        if self.quarantine is not None:
+            self.quarantine.extend_dicts(result.quarantine, dropped=result.dropped)
         get_registry().counter("check.shards.total").inc()
 
 

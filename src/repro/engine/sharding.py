@@ -1,13 +1,29 @@
-"""Sharded parallel corpus assembly.
+"""Sharded parallel corpus assembly with fault-tolerant recovery.
 
 Corpus assembly (parse → type → augment, per image) is embarrassingly
 parallel: no image's row depends on another's.  The coordinator splits
 the image list into contiguous chunks, ships each chunk to a worker
 process as a serialised payload, and folds the returned
 :class:`~repro.engine.artifacts.ShardResult` partials back together
-left-to-right.  Because :meth:`PartialDataset.merge` is associative and
-order-preserving, the finalized dataset is identical — fingerprint and
-all — to a serial pass, regardless of worker count or chunk size.
+left-to-right in input order.  Because :meth:`PartialDataset.merge` is
+associative and order-preserving, the finalized dataset is identical —
+fingerprint and all — to a serial pass, regardless of worker count or
+chunk size.
+
+Failure handling has three layers (see ``docs/robustness.md``):
+
+1. **Per-image isolation** happens inside the worker: the assembler's
+   error policy drops unparseable images into quarantine records that
+   ride back on the shard result.
+2. **Per-shard recovery** happens here: a shard whose worker crashed
+   (``BrokenProcessPool``) or stalled (``shard_timeout``) is retried in
+   a fresh single-worker pool under an exponential-backoff
+   :class:`~repro.core.resilience.RetryPolicy`.
+3. **Bisection** kicks in when retries are exhausted: the chunk is
+   split recursively until the poisoned image(s) are isolated and
+   quarantined individually, so one crash-inducing image costs exactly
+   itself — never its shard, never the run.  When no subprocess can be
+   created at all, survivors are assembled serially in-process.
 
 Workers rebuild their assembler from the serialised
 :class:`~repro.core.pipeline.EnCoreConfig` (including any customization
@@ -20,9 +36,17 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, Iterable, List, Optional, Sequence, TypeVar
+from concurrent.futures import TimeoutError as ShardTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.dataset import Dataset, PartialDataset
+from repro.core.resilience import (
+    ErrorPolicy,
+    QuarantineRecord,
+    RetryPolicy,
+    enforce_error_budget,
+)
 from repro.engine.artifacts import ShardResult
 from repro.obs import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
@@ -33,6 +57,12 @@ from repro.sysmodel.snapshot import image_from_dict, image_to_dict
 T = TypeVar("T")
 
 log = get_logger("engine.sharding")
+
+#: Shard failures the recovery layer absorbs: a crashed worker breaks
+#: the whole pool; a stalled worker trips the optional shard timeout.
+#: Everything else (parse errors under strict policy, programming
+#: errors) propagates unchanged.
+RECOVERABLE = (BrokenProcessPool, ShardTimeout)
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
@@ -47,8 +77,8 @@ def default_chunk_size(n_items: int, workers: int) -> int:
 
     Smaller chunks let the coordinator deserialise shard *i* while the
     pool is still assembling shard *i+1*, hiding the result-shipping
-    latency behind worker compute; one-chunk-per-worker would serialise
-    that cost at the end of the run.
+    latency behind worker compute; they also bound the blast radius of
+    a crashed worker to a quarter of one worker's share.
     """
     return max(1, math.ceil(n_items / (max(1, workers) * 4)))
 
@@ -59,23 +89,31 @@ def _assemble_shard(payload: Dict[str, Any]) -> ShardResult:
     Must stay a module-level function (picklable under every
     multiprocessing start method).  The worker's metrics registry is
     fresh per shard so the returned snapshot contains exactly this
-    shard's telemetry.
+    shard's telemetry; quarantine records accumulated by the worker's
+    error policy ride back on the result.
     """
     from repro.core.pipeline import EnCore, EnCoreConfig
 
     set_registry(MetricsRegistry())
     encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
+    if payload.get("faults"):
+        from repro.testing.faults import FaultPlan
+
+        encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
     images = [image_from_dict(d) for d in payload["images"]]
-    partial = encore.assembler.assemble_partial(images)
+    shard_index = payload["shard_index"]
+    partial = encore.assembler.assemble_partial(images, shard_index=shard_index)
     return ShardResult(
         partial=partial,
         metrics=get_registry().to_dict(),
-        shard_index=payload["shard_index"],
+        shard_index=shard_index,
+        quarantine=encore.assembler.quarantine.to_dicts(),
+        dropped=encore.assembler.quarantine.dropped,
     )
 
 
 class ShardedAssembler:
-    """Assemble a corpus across *workers* processes.
+    """Assemble a corpus across *workers* processes, surviving failures.
 
     ``workers <= 1`` runs serially through *assembler* (the caller's own
     instance, preserving programmatic customization exactly); ``workers
@@ -83,6 +121,12 @@ class ShardedAssembler:
     process pool cannot be created (restricted sandboxes), assembly
     falls back to the serial path with a warning — results are identical
     either way.
+
+    *retry* tunes the crash/timeout recovery backoff (injectable sleeper
+    for tests), *shard_timeout* bounds one shard's wall time in seconds
+    (``None`` = unbounded), and *fault_plan* is the test-only injection
+    hook from :mod:`repro.testing.faults`, shipped to workers inside the
+    shard payload.
     """
 
     def __init__(
@@ -91,6 +135,9 @@ class ShardedAssembler:
         assembler,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        shard_timeout: Optional[float] = None,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -98,41 +145,67 @@ class ShardedAssembler:
         self.assembler = assembler
         self.workers = workers
         self.chunk_size = chunk_size
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.shard_timeout = shard_timeout
+        self.fault_plan = fault_plan
 
     def assemble(self, images: Iterable[SystemImage]) -> Dataset:
         images = list(images)
         if self.workers <= 1 or len(images) <= 1:
+            self._install_inline_faults()
             return self.assembler.assemble_corpus(images)
         return self._assemble_sharded(images)
 
     def assemble_partial(self, images: Iterable[SystemImage]) -> PartialDataset:
         images = list(images)
         if self.workers <= 1 or len(images) <= 1:
+            self._install_inline_faults()
             return self.assembler.assemble_partial(images)
         return self._sharded_partial(images)
 
     # -- internals -------------------------------------------------------------
 
+    @property
+    def _policy(self) -> ErrorPolicy:
+        return ErrorPolicy.parse(getattr(self.config, "error_policy", "strict"))
+
+    def _install_inline_faults(self) -> None:
+        """Arm the fault plan on the serial path (coordinator-safe mode)."""
+        if self.fault_plan is not None and self.assembler.fault_hook is None:
+            self.assembler.fault_hook = self.fault_plan.hook
+
     def _assemble_sharded(self, images: List[SystemImage]) -> Dataset:
         with span("assemble.corpus") as s:
+            dropped_before = self.assembler.quarantine.dropped
             dataset = self._sharded_partial(images).finalize()
+            enforce_error_budget(
+                self.assembler.quarantine.dropped - dropped_before,
+                len(images),
+                getattr(self.config, "max_error_rate", 1.0),
+                self._policy,
+            )
             s.annotate(systems=len(dataset), attributes=len(dataset.attributes()))
         return dataset
+
+    def _payload(self, chunk: List[SystemImage], index: int, config_dict) -> Dict[str, Any]:
+        payload = {
+            "config": config_dict,
+            "images": [image_to_dict(image) for image in chunk],
+            "shard_index": index,
+        }
+        if self.fault_plan is not None:
+            payload["faults"] = self.fault_plan.to_dict()
+        return payload
 
     def _sharded_partial(self, images: List[SystemImage]) -> PartialDataset:
         chunk_size = self.chunk_size or default_chunk_size(len(images), self.workers)
         chunks = chunked(images, chunk_size)
         config_dict = self.config.to_dict()
         payloads = [
-            {
-                "config": config_dict,
-                "images": [image_to_dict(image) for image in chunk],
-                "shard_index": index,
-            }
+            self._payload(chunk, index, config_dict)
             for index, chunk in enumerate(chunks)
         ]
-        merged = PartialDataset()
-        shards_done = 0
+        registry = get_registry()
         with span("assemble.shards", shards=len(chunks), workers=self.workers):
             try:
                 executor = ProcessPoolExecutor(
@@ -140,16 +213,161 @@ class ShardedAssembler:
                 )
             except (OSError, PermissionError, ValueError) as exc:
                 log.warning("shard.pool_unavailable", error=str(exc))
+                self._install_inline_faults()
                 return self.assembler.assemble_partial(images)
-            with executor:
-                # Folding inside the map loop overlaps the coordinator's
-                # counter accumulation with the pool's remaining shard
-                # compute; executor.map preserves input order, so the
-                # left fold is deterministic regardless of completion
-                # order.  extend() is merge() without the per-shard copy.
-                for result in executor.map(_assemble_shard, payloads):
-                    merged.extend(result.partial)
+            results: List[Optional[ShardResult]] = [None] * len(chunks)
+            failed: List[int] = []
+            try:
+                futures = [executor.submit(_assemble_shard, p) for p in payloads]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result(timeout=self.shard_timeout)
+                    except RECOVERABLE as exc:
+                        future.cancel()
+                        failed.append(index)
+                        registry.counter("retry.shards.failed").inc()
+                        log.warning(
+                            "shard.failed", shard=index,
+                            error=type(exc).__name__, images=len(chunks[index]),
+                        )
+            finally:
+                # wait=False: a hung worker must not stall the
+                # coordinator; recovery proceeds in fresh pools.
+                executor.shutdown(wait=False, cancel_futures=True)
+            for index in failed:
+                results[index] = self._recover_chunk(chunks[index], index, config_dict)
+            # The fold is a left fold in input order, so the result is
+            # byte-identical to a serial pass no matter which shards
+            # needed recovery.  extend() is merge() without the
+            # per-shard copy.
+            merged = PartialDataset()
+            shards_done = 0
+            for result in results:
+                assert result is not None
+                merged.extend(result.partial)
+                if result.metrics:
                     merge_snapshot(result.metrics)
-                    shards_done += 1
-        get_registry().counter("assemble.shards.total").inc(shards_done)
+                self.assembler.quarantine.extend_dicts(
+                    result.quarantine, dropped=result.dropped
+                )
+                shards_done += 1
+        registry.counter("assemble.shards.total").inc(shards_done)
         return merged
+
+    # -- shard recovery --------------------------------------------------------
+
+    def _recover_chunk(
+        self, chunk: List[SystemImage], index: int, config_dict
+    ) -> ShardResult:
+        """Bring one failed shard back: backoff-retry, then bisect."""
+        registry = get_registry()
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self.retry.backoff(attempt)
+            registry.counter("retry.attempts.total").inc()
+            try:
+                result = self._run_isolated(chunk, index, config_dict)
+            except RECOVERABLE as exc:
+                last_exc = exc
+                log.warning(
+                    "shard.retry_failed", shard=index, attempt=attempt,
+                    error=type(exc).__name__,
+                )
+                continue
+            registry.counter("retry.recovered.total").inc()
+            log.info("shard.recovered", shard=index, attempt=attempt)
+            return result
+        if self._policy is ErrorPolicy.STRICT:
+            assert last_exc is not None
+            raise last_exc
+        registry.counter("retry.bisections.total").inc()
+        log.warning(
+            "shard.bisecting", shard=index, images=len(chunk),
+            error=type(last_exc).__name__ if last_exc else "",
+        )
+        partial, records, dropped = self._bisect(chunk, index, config_dict)
+        return ShardResult(
+            partial=partial, metrics={}, shard_index=index,
+            quarantine=records, dropped=dropped,
+        )
+
+    def _run_isolated(
+        self, chunk: List[SystemImage], index: int, config_dict
+    ) -> ShardResult:
+        """Run one chunk in a fresh single-worker pool (crash firewall).
+
+        Falls back to in-process serial assembly of the chunk when no
+        subprocess can be created at all — per-image isolation still
+        applies there, so survivors are never lost.
+        """
+        payload = self._payload(chunk, index, config_dict)
+        try:
+            executor = ProcessPoolExecutor(max_workers=1)
+        except (OSError, PermissionError, ValueError) as exc:
+            log.warning("shard.recovery_pool_unavailable", error=str(exc))
+            return self._assemble_inline(chunk, index)
+        try:
+            return executor.submit(_assemble_shard, payload).result(
+                timeout=self.shard_timeout
+            )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _assemble_inline(self, chunk: List[SystemImage], index: int) -> ShardResult:
+        """In-process serial assembly (the last-resort recovery path).
+
+        Records go straight into the coordinator assembler's quarantine,
+        so the returned result carries none of its own; the coordinator
+        fold sees an already-accounted shard.
+        """
+        self._install_inline_faults()
+        partial = self.assembler.assemble_partial(chunk, shard_index=index)
+        return ShardResult(partial=partial, metrics={}, shard_index=index)
+
+    def _bisect(
+        self, chunk: List[SystemImage], index: int, config_dict
+    ) -> Tuple[PartialDataset, List[Dict[str, Any]], int]:
+        """Isolate the poisoned image(s) of a repeatedly-failing chunk.
+
+        Recursively halves the chunk, running each half in its own
+        single-worker pool, until failures are pinned to single images —
+        each of which is quarantined with stage ``worker``.  Survivors'
+        partials are concatenated in input order, so the final fold
+        stays byte-identical to assembling the clean subset serially.
+        Sub-run metrics are folded here; the aggregate result returned
+        to the caller carries an empty snapshot to avoid double counts.
+        """
+        try:
+            result = self._run_isolated(chunk, index, config_dict)
+        except RECOVERABLE as exc:
+            if len(chunk) == 1:
+                image = chunk[0]
+                record = QuarantineRecord(
+                    image_id=image.image_id, stage="worker",
+                    error=type(exc).__name__,
+                    message=str(exc) or "worker process crashed or stalled",
+                    shard_index=index,
+                )
+                get_registry().counter(
+                    "quarantine.images.total", stage="worker"
+                ).inc()
+                log.warning(
+                    "image.quarantined", image=image.image_id,
+                    stage="worker", error=record.error,
+                )
+                return PartialDataset(), [record.to_dict()], 1
+            mid = (len(chunk) + 1) // 2
+            left_partial, left_records, left_dropped = self._bisect(
+                chunk[:mid], index, config_dict
+            )
+            right_partial, right_records, right_dropped = self._bisect(
+                chunk[mid:], index, config_dict
+            )
+            return (
+                left_partial.extend(right_partial),
+                left_records + right_records,
+                left_dropped + right_dropped,
+            )
+        if result.metrics:
+            merge_snapshot(result.metrics)
+        return result.partial, list(result.quarantine), result.dropped

@@ -62,6 +62,11 @@ class LedgerEntry:
     #: counter/gauge totals by metric name (histograms excluded).
     metrics: Dict[str, float] = field(default_factory=dict)
     workers: int = 1
+    #: Quarantine accounting (stage → dropped count, plus ``total``).
+    #: Deliberately run *metadata*, not part of :meth:`core`: a
+    #: quarantined run that salvaged the clean subset must diff as
+    #: semantically identical to a clean run over that same subset.
+    quarantine: Dict[str, int] = field(default_factory=dict)
     run_id: str = ""
     timestamp: str = ""
 
@@ -100,6 +105,9 @@ class LedgerEntry:
             "workers": self.workers,
             "timing": {k: self.timing[k] for k in sorted(self.timing)},
             "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "quarantine": {
+                k: self.quarantine[k] for k in sorted(self.quarantine)
+            },
         })
         return out
 
@@ -125,6 +133,9 @@ class LedgerEntry:
                 str(k): float(v) for k, v in data.get("metrics", {}).items()
             },
             workers=int(data.get("workers", 1)),
+            quarantine={
+                str(k): int(v) for k, v in data.get("quarantine", {}).items()
+            },
             run_id=str(data.get("run_id", "")),
             timestamp=str(data.get("timestamp", "")),
         )
@@ -133,13 +144,16 @@ class LedgerEntry:
         """One-line ``ledger show`` rendering."""
         warnings_total = sum(self.warning_counts.values())
         drifted = len(self.drift.get("drifted", ()))
-        return (
+        line = (
             f"{self.run_id}  {self.timestamp}  {self.command:<7} "
             f"rules={self.rule_count:<4} targets={self.targets_checked:<4} "
             f"warnings={warnings_total:<5} drifted={drifted:<3} "
             f"ruleset={self.ruleset_digest[:12] or '-'} "
             f"workers={self.workers}"
         )
+        if self.quarantine.get("total"):
+            line += f" quarantined={self.quarantine['total']}"
+        return line
 
 
 class Ledger:

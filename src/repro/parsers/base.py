@@ -67,8 +67,23 @@ class ConfigParser:
     app: str = ""
 
     def parse(self, text: str, source_path: str = "") -> List[ConfigEntry]:
-        """Parse *text* into entries, stamping ``source_path`` on each."""
-        entries = self.parse_text(text)
+        """Parse *text* into entries, stamping ``source_path`` on each.
+
+        The error contract at this boundary is total: *any* failure of
+        the format-specific :meth:`parse_text` surfaces as
+        :class:`ConfigParseError`, so callers (and the per-image error
+        policy above them) never see an unhandled ``IndexError`` or the
+        like from adversarial input.
+        """
+        try:
+            entries = self.parse_text(text)
+        except ConfigParseError:
+            raise
+        except Exception as exc:
+            raise ConfigParseError(
+                f"unparseable {self.app or 'config'} text: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         if not source_path:
             return entries
         return [
@@ -85,11 +100,27 @@ class ConfigParser:
 
     @staticmethod
     def strip_comment(line: str, markers: Sequence[str] = ("#",)) -> str:
-        """Drop trailing comments (quote-unaware; fine for our formats)."""
-        for marker in markers:
-            idx = line.find(marker)
-            if idx >= 0:
-                line = line[:idx]
+        """Drop a trailing comment, respecting quoted strings.
+
+        A marker inside single or double quotes is literal text, not a
+        comment — ``CustomLog "/var/log/a#b.log" combined`` keeps its
+        full path.  An unterminated quote disarms markers for the rest
+        of the line (truncating a value the author clearly opened a
+        string for would be worse than keeping a trailing comment).
+        """
+        quote = ""
+        i = 0
+        n = len(line)
+        while i < n:
+            ch = line[i]
+            if quote:
+                if ch == quote:
+                    quote = ""
+            elif ch in "\"'":
+                quote = ch
+            elif any(line.startswith(marker, i) for marker in markers):
+                return line[:i].rstrip()
+            i += 1
         return line.rstrip()
 
     @staticmethod

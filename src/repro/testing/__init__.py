@@ -8,8 +8,34 @@ given a trained EnCore model, :class:`~repro.testing.rulegen.
 RuleGuidedTestGenerator` synthesizes targeted test cases — configuration
 or environment mutations engineered to violate specific learned rules —
 far more focused than ConfErr's random mistakes.
+
+:mod:`repro.testing.faults` complements it with *infrastructure* fault
+injection: seeded config-text corruptors, corpus poisoning, and a
+deterministic :class:`~repro.testing.faults.FaultPlan` that crashes or
+hangs worker processes on chosen images — the harness behind the chaos
+tests that exercise the pipeline's quarantine and shard-recovery paths
+(see ``docs/robustness.md``).
 """
 
+from repro.testing.faults import (
+    CORRUPTIONS,
+    FaultPlan,
+    corrupt_text,
+    poison_corpus,
+    poison_image,
+    poison_snapshot_dir,
+    poisonable_app,
+)
 from repro.testing.rulegen import GeneratedTest, RuleGuidedTestGenerator
 
-__all__ = ["GeneratedTest", "RuleGuidedTestGenerator"]
+__all__ = [
+    "CORRUPTIONS",
+    "FaultPlan",
+    "GeneratedTest",
+    "RuleGuidedTestGenerator",
+    "corrupt_text",
+    "poison_corpus",
+    "poison_image",
+    "poison_snapshot_dir",
+    "poisonable_app",
+]

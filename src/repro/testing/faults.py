@@ -1,0 +1,404 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+Two families of faults, both seeded and reproducible:
+
+* **Data faults** — :func:`corrupt_text` and friends mutate valid
+  configuration text (truncation, spliced lines, binary garbage,
+  encoding damage, unbalanced nesting); :func:`poison_image` /
+  :func:`poison_corpus` / :func:`poison_snapshot_dir` plant *guaranteed*
+  parse failures into otherwise healthy images so tests and the CI
+  chaos job can assert exact quarantine counts.
+* **Infrastructure faults** — :class:`FaultPlan` is a serialisable
+  test-only hook threaded through shard payloads.  Inside a worker
+  process it kills the process outright (``crash``) or stalls it
+  (``hang``) to exercise the retry / bisection / timeout recovery in
+  :mod:`repro.engine.sharding`; inside the coordinator the same plan
+  raises :class:`~repro.core.resilience.FaultInjected` instead, so
+  serial fallback paths stay containable.
+
+Cross-process determinism ("crash the first N attempts, then recover")
+is coordinated through marker files in ``state_dir`` — worker processes
+share no memory, but they share the filesystem.
+
+The module doubles as a tiny CLI for the CI chaos job::
+
+    python -m repro.testing.faults poison --dir corpus/ --count 3 --seed 11
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.resilience import FaultInjected
+from repro.sysmodel.image import SystemImage
+
+#: Exit status an injected crash kills the worker with (distinctive in
+#: logs; any non-zero status breaks the process pool identically).
+CRASH_EXIT_CODE = 87
+
+#: Apps whose parsers are guaranteed to reject the poison line below.
+POISONABLE_APPS = ("apache", "mysql", "php")
+
+_POISON_LINES = {
+    "apache": "</EnCoreInjectedFault>",  # unbalanced close: ConfigParseError
+    "mysql": "= injected-orphan-value",  # empty key: ConfigParseError
+    "php": "injected_directive_without_equals",  # no '=': ConfigParseError
+}
+
+
+# -- seeded text corruption ----------------------------------------------------
+
+
+def truncate_text(text: str, seed: int) -> str:
+    """Cut the text mid-line, as a crashed writer or full disk would."""
+    rng = random.Random(seed)
+    if not text:
+        return text
+    cut = rng.randrange(1, max(2, len(text)))
+    return text[:cut]
+
+
+def splice_text(text: str, seed: int) -> str:
+    """Duplicate and shuffle a window of lines (a botched merge/rsync)."""
+    rng = random.Random(seed)
+    lines = text.splitlines()
+    if len(lines) < 2:
+        return text + "\n" + text
+    start = rng.randrange(0, len(lines) - 1)
+    end = rng.randrange(start + 1, len(lines) + 1)
+    window = lines[start:end]
+    rng.shuffle(window)
+    return "\n".join(lines[:start] + window + window + lines[end:])
+
+
+def garbage_bytes(text: str, seed: int) -> str:
+    """Insert runs of binary garbage (NULs, control bytes, high bytes)."""
+    rng = random.Random(seed)
+    garbage = "".join(
+        chr(rng.choice([0, 1, 7, 8, 11, 127, 128, 155, 240, 255]))
+        for _ in range(rng.randrange(4, 24))
+    )
+    pos = rng.randrange(0, len(text) + 1)
+    return text[:pos] + garbage + text[pos:]
+
+
+def encoding_mangle(text: str, seed: int) -> str:
+    """Simulate mojibake: re-decode the UTF-8 bytes as latin-1."""
+    rng = random.Random(seed)
+    payload = text + " café=naïve ☃"
+    mangled = payload.encode("utf-8").decode("latin-1")
+    if rng.random() < 0.5:
+        mangled = "�" + mangled
+    return mangled
+
+
+def deep_nesting(text: str, seed: int) -> str:
+    """Wrap the text in deeply nested, unbalanced section blocks."""
+    rng = random.Random(seed)
+    depth = rng.randrange(32, 128)
+    opens = "\n".join(f"<Nest{i}>" for i in range(depth))
+    closes = "\n".join(f"</Nest{i}>" for i in reversed(range(depth - 1)))
+    return f"{opens}\n{text}\n{closes}"
+
+
+#: Corruption mode name → function, the fuzz-lite mutation space.
+CORRUPTIONS = {
+    "truncate": truncate_text,
+    "splice": splice_text,
+    "garbage": garbage_bytes,
+    "encoding": encoding_mangle,
+    "nesting": deep_nesting,
+}
+
+
+def corrupt_text(
+    text: str, seed: int, modes: Optional[Sequence[str]] = None
+) -> Tuple[str, str]:
+    """Apply one seeded corruption; returns ``(mode, corrupted_text)``."""
+    names = sorted(modes) if modes else sorted(CORRUPTIONS)
+    rng = random.Random(seed)
+    mode = names[rng.randrange(len(names))]
+    return mode, CORRUPTIONS[mode](text, seed)
+
+
+# -- guaranteed poisoning ------------------------------------------------------
+
+
+def poisonable_app(image: SystemImage) -> Optional[str]:
+    """The first app in *image* whose parser the poison line breaks."""
+    for app in POISONABLE_APPS:
+        if image.has_app(app):
+            return app
+    return None
+
+
+def poison_image(image: SystemImage) -> SystemImage:
+    """An independent copy of *image* whose config is guaranteed unparseable.
+
+    Raises :class:`ValueError` when the image carries no config file a
+    poison line is known to break (see :data:`POISONABLE_APPS`).
+    """
+    app = poisonable_app(image)
+    if app is None:
+        raise ValueError(
+            f"image {image.image_id} has no poisonable config "
+            f"(needs one of: {', '.join(POISONABLE_APPS)})"
+        )
+    poisoned = image.copy()
+    config = poisoned.config_files(app)[0]
+    config.text = config.text + "\n" + _POISON_LINES[app] + "\n"
+    return poisoned
+
+
+def poison_corpus(
+    images: Sequence[SystemImage], count: int, seed: int
+) -> Tuple[List[SystemImage], List[str]]:
+    """Poison *count* images of a corpus, chosen by seed.
+
+    Returns the new corpus (same order, poisoned copies substituted) and
+    the poisoned image ids, sorted by corpus position.
+    """
+    candidates = [i for i, image in enumerate(images) if poisonable_app(image)]
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot poison {count} of {len(images)} images: only "
+            f"{len(candidates)} have poisonable configs"
+        )
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(candidates, count))
+    out = list(images)
+    poisoned_ids: List[str] = []
+    for index in chosen:
+        out[index] = poison_image(images[index])
+        poisoned_ids.append(out[index].image_id)
+    return out, poisoned_ids
+
+
+def poison_snapshot_dir(
+    directory: Union[str, Path], count: int, seed: int
+) -> List[Tuple[str, Path]]:
+    """Poison *count* snapshot files in a corpus directory, in place.
+
+    The CI chaos job's entry point: picks deterministically by seed over
+    the sorted file list, rewrites each victim with a guaranteed parse
+    failure, and returns ``(image_id, path)`` pairs so the job can build
+    the clean-subset control corpus.
+    """
+    from repro.sysmodel.snapshot import load_image, save_image
+
+    directory = Path(directory)
+    paths = sorted(directory.glob("*.json"))
+    images = [load_image(path) for path in paths]
+    candidates = [i for i, image in enumerate(images) if poisonable_app(image)]
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot poison {count} snapshots: only {len(candidates)} of "
+            f"{len(paths)} in {directory} have poisonable configs"
+        )
+    rng = random.Random(seed)
+    chosen = sorted(rng.sample(candidates, count))
+    out: List[Tuple[str, Path]] = []
+    for index in chosen:
+        poisoned = poison_image(images[index])
+        save_image(poisoned, paths[index])
+        out.append((poisoned.image_id, paths[index]))
+    return out
+
+
+# -- infrastructure faults -----------------------------------------------------
+
+
+@dataclass
+class FaultPlan:
+    """Serialisable worker-fault schedule, threaded through shard payloads.
+
+    ``crash`` / ``hang`` map image ids to a *fire budget*: the fault
+    fires on the first *budget* encounters of that image across **all**
+    processes (coordinated through marker files in ``state_dir``), then
+    burns out — so "crash once, succeed on retry" is a budget of 1 and
+    "always crash" is a large budget (:meth:`crash_always`).
+
+    Inside a worker process a crash is a hard ``os._exit`` (the
+    coordinator sees ``BrokenProcessPool``) and a hang stalls until
+    ``hang_seconds`` elapse or :meth:`stop_hangs` touches the stop
+    marker.  Inside the coordinator process the plan raises
+    :class:`FaultInjected` instead of killing anything.
+    """
+
+    state_dir: str
+    crash: Dict[str, int] = field(default_factory=dict)
+    hang: Dict[str, int] = field(default_factory=dict)
+    hang_seconds: float = 3.0
+    coordinator_pid: int = field(default_factory=os.getpid)
+
+    ALWAYS = 1_000_000
+
+    @classmethod
+    def crash_once(cls, state_dir: Union[str, Path], image_id: str) -> "FaultPlan":
+        return cls(state_dir=str(state_dir), crash={image_id: 1})
+
+    @classmethod
+    def crash_always(cls, state_dir: Union[str, Path], *image_ids: str) -> "FaultPlan":
+        return cls(
+            state_dir=str(state_dir),
+            crash={image_id: cls.ALWAYS for image_id in image_ids},
+        )
+
+    @classmethod
+    def hang_always(
+        cls, state_dir: Union[str, Path], image_id: str, hang_seconds: float = 3.0
+    ) -> "FaultPlan":
+        return cls(
+            state_dir=str(state_dir),
+            hang={image_id: cls.ALWAYS},
+            hang_seconds=hang_seconds,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "state_dir": self.state_dir,
+            "crash": dict(self.crash),
+            "hang": dict(self.hang),
+            "hang_seconds": self.hang_seconds,
+            "coordinator_pid": self.coordinator_pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            state_dir=str(data["state_dir"]),
+            crash={str(k): int(v) for k, v in data.get("crash", {}).items()},
+            hang={str(k): int(v) for k, v in data.get("hang", {}).items()},
+            hang_seconds=float(data.get("hang_seconds", 3.0)),
+            coordinator_pid=int(data.get("coordinator_pid", 0)),
+        )
+
+    # -- the hook itself --------------------------------------------------------
+
+    def hook(self, image: SystemImage) -> None:
+        """The per-image fault hook installed on a :class:`DataAssembler`."""
+        image_id = image.image_id
+        budget = self.crash.get(image_id, 0)
+        if budget and self._consume(f"crash-{image_id}", budget):
+            if self._in_worker():
+                os._exit(CRASH_EXIT_CODE)
+            raise FaultInjected(image_id, "crash")
+        budget = self.hang.get(image_id, 0)
+        if budget and self._consume(f"hang-{image_id}", budget):
+            if self._in_worker():
+                self._stall()
+            else:
+                raise FaultInjected(image_id, "hang")
+
+    def fires_so_far(self, image_id: str, mode: str = "crash") -> int:
+        """How many times the fault on *image_id* has fired (any process)."""
+        pattern = f"{mode}-{image_id}.*"
+        return len(list(Path(self.state_dir).glob(pattern)))
+
+    def stop_hangs(self) -> None:
+        """Release every current and future hang (tests call on teardown)."""
+        self._stop_marker().touch()
+
+    # -- internals --------------------------------------------------------------
+
+    def _in_worker(self) -> bool:
+        return os.getpid() != self.coordinator_pid
+
+    def _stop_marker(self) -> Path:
+        return Path(self.state_dir) / "stop-hangs"
+
+    def _stall(self) -> None:
+        deadline = time.monotonic() + self.hang_seconds
+        stop = self._stop_marker()
+        while time.monotonic() < deadline and not stop.exists():
+            time.sleep(0.02)
+
+    def _consume(self, name: str, budget: int) -> bool:
+        """Claim one firing of *name* if its budget is not exhausted.
+
+        ``O_CREAT | O_EXCL`` marker creation is atomic on every platform
+        we run on, so concurrent workers never double-claim a slot.
+        """
+        state = Path(self.state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        for slot in range(budget):
+            marker = state / f"{name}.{slot}"
+            try:
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+
+def valid_config_samples() -> Dict[str, str]:
+    """Representative valid config texts per app, the fuzz-suite seeds."""
+    return {
+        "apache": (
+            "ServerRoot \"/etc/httpd\"\n"
+            "Listen 80\n"
+            "LoadModule php5_module modules/libphp5.so\n"
+            "CustomLog \"/var/log/httpd/access#main.log\" combined\n"
+            "<VirtualHost *:80>\n"
+            "    DocumentRoot /var/www/html\n"
+            "    <Directory /var/www/html>\n"
+            "        AllowOverride None\n"
+            "    </Directory>\n"
+            "</VirtualHost>\n"
+        ),
+        "mysql": (
+            "[mysqld]\n"
+            "datadir = /var/lib/mysql\n"
+            "user = mysql\n"
+            "port = 3306\n"
+            "skip-networking\n"
+            "log_error = /var/log/mysqld.log\n"
+            "[client]\n"
+            "socket = /var/lib/mysql/mysql.sock\n"
+        ),
+        "php": (
+            "engine = On\n"
+            "memory_limit = 128M\n"
+            "upload_max_filesize = 2M\n"
+            "session.save_path = \"/var/lib/php/session\"\n"
+            "error_log = /var/log/php_errors.log\n"
+        ),
+        "sshd": (
+            "Port 22\n"
+            "PermitRootLogin no\n"
+            "AuthorizedKeysFile .ssh/authorized_keys\n"
+            "Match User backup\n"
+            "    ChrootDirectory /srv/backup\n"
+        ),
+    }
+
+
+# -- CLI (the CI chaos job's poisoning step) -----------------------------------
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.faults",
+        description="deterministic fault injection helpers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("poison", help="poison snapshot files in a corpus dir")
+    p.add_argument("--dir", required=True, help="corpus directory (*.json)")
+    p.add_argument("--count", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    for image_id, path in poison_snapshot_dir(args.dir, args.count, args.seed):
+        print(f"{image_id} {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -226,3 +226,57 @@ class TestParserRegistry:
         registry = default_registry()
         entries = registry.parse("php", "engine = On\n", source_path="/etc/php.ini")
         assert entries[0].source_path == "/etc/php.ini"
+
+
+class TestStripComment:
+    """Quote-aware comment stripping (regression: quoted '#' kept)."""
+
+    from repro.parsers.base import ConfigParser
+    strip = staticmethod(ConfigParser.strip_comment)
+
+    def test_plain_comment_stripped(self):
+        assert self.strip("Listen 80  # default port") == "Listen 80"
+
+    def test_full_line_comment(self):
+        assert self.strip("# nothing here") == ""
+
+    def test_marker_inside_double_quotes_kept(self):
+        line = 'CustomLog "/var/log/a#b.log" combined'
+        assert self.strip(line) == line
+
+    def test_marker_inside_single_quotes_kept(self):
+        line = "ErrorLog '/var/log/err#or.log'"
+        assert self.strip(line) == line
+
+    def test_comment_after_closing_quote_stripped(self):
+        assert (
+            self.strip('CustomLog "/var/log/a#b.log" combined # comment')
+            == 'CustomLog "/var/log/a#b.log" combined'
+        )
+
+    def test_unterminated_quote_disarms_markers(self):
+        line = 'DocumentRoot "/var/www # half-open'
+        assert self.strip(line) == line
+
+    def test_alternate_markers(self):
+        assert self.strip("key = value ; note", markers=("#", ";")) == "key = value"
+        assert (
+            self.strip('path = "a;b" ; note', markers=("#", ";")) == 'path = "a;b"'
+        )
+
+    def test_no_comment_trailing_space_trimmed(self):
+        assert self.strip("Listen 80   ") == "Listen 80"
+
+    def test_apache_parser_keeps_quoted_hash(self):
+        entries = ApacheParser().parse_text(
+            'CustomLog "/var/log/httpd/access#main.log" combined\n'
+        )
+        values = [e.value for e in by_name(entries, "CustomLog")]
+        assert values == ["/var/log/httpd/access#main.log combined"]
+
+    def test_mysql_parser_keeps_quoted_semicolon(self):
+        entries = MySQLParser().parse_text(
+            '[mysqld]\ninit_connect = "SET NAMES utf8; SET autocommit=0"\n'
+        )
+        values = [e.value for e in by_name(entries, "mysqld/init_connect")]
+        assert values == ["SET NAMES utf8; SET autocommit=0"]

@@ -208,3 +208,65 @@ class TestCliModelFlow:
 
         with pytest.raises(SystemExit):
             main(["check", "--target", str(tmp_path / "x.json")])
+
+
+class TestSnapshotCorrupt:
+    """Damaged snapshot files surface as typed, recoverable errors."""
+
+    def test_invalid_json_wrapped(self, tmp_path):
+        from repro.core.persistence import SnapshotCorruptError, load_snapshot
+
+        path = tmp_path / "model.json"
+        path.write_text("{truncated mid-wri")
+        with pytest.raises(SnapshotCorruptError, match="invalid JSON") as info:
+            load_snapshot(path)
+        assert info.value.path == str(path)
+        assert "repro train" in str(info.value)
+
+    def test_wrong_top_level_type_wrapped(self, tmp_path):
+        from repro.core.persistence import SnapshotCorruptError, load_snapshot
+
+        path = tmp_path / "model.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SnapshotCorruptError, match="expected a JSON object"):
+            load_snapshot(path)
+
+    def test_missing_fields_wrapped(self, tmp_path):
+        from repro.core.persistence import SnapshotCorruptError, load_snapshot
+
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"version": 3}))
+        with pytest.raises(SnapshotCorruptError, match="missing or malformed"):
+            load_snapshot(path)
+
+    def test_unsupported_version_is_not_corruption(self, tmp_path):
+        """An intact file from a newer writer propagates its own error."""
+        from repro.core.persistence import SnapshotCorruptError, load_snapshot
+
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="unsupported") as info:
+            load_snapshot(path)
+        assert not isinstance(info.value, SnapshotCorruptError)
+
+    def test_is_a_value_error(self):
+        from repro.core.persistence import SnapshotCorruptError
+
+        assert issubclass(SnapshotCorruptError, ValueError)
+
+    def test_cli_check_reports_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "corpus"
+        main(["generate", "--out", str(corpus), "--count", "1", "--seed", "3"])
+        target = next(corpus.glob("*.json"))
+        model = tmp_path / "model.json"
+        model.write_text('{"version": 3, "stats":')
+        rc = main([
+            "check", "--model", str(model), "--target", str(target),
+            "--no-ledger",
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "corrupt model snapshot" in err
+        assert "Traceback" not in err
