@@ -13,7 +13,11 @@ the parallel-training speedup/consistency numbers.  Two writers feed it:
 
 Sections merge key-wise, so a quick CI export and a full benchmark run
 update their own sections without clobbering each other; every write is
-atomic (tmp + rename).
+atomic (tmp + rename).  Every :func:`record_headline` call also appends
+a stamped record (git SHA, config fingerprint, timestamp) to
+``BENCH_history.jsonl`` next to the headline file — the history the
+``repro bench diff`` regression gate compares against (see
+:mod:`repro.obs.bench` and ``benchmarks/gate.py``).
 
 Usage::
 
@@ -24,7 +28,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
@@ -42,19 +45,14 @@ def record_headline(
     payload: Dict[str, object],
     path: Union[str, Path] = BENCH_PATH,
 ) -> Path:
-    """Merge one section into the headline record, atomically."""
-    from repro.obs.fileio import atomic_write_text
+    """Merge one section into the headline record, atomically.
 
-    path = Path(path)
-    data: Dict[str, object] = {}
-    if path.exists():
-        try:
-            data = json.loads(path.read_text())
-        except ValueError:
-            data = {}  # a corrupt record is regenerated, not fatal
-    data[section] = payload
-    atomic_write_text(path, json.dumps(data, indent=1, sort_keys=True) + "\n")
-    return path
+    Stamps the payload (git SHA, config fingerprint, timestamp) and
+    appends it to the sibling ``BENCH_history.jsonl`` for the perf gate.
+    """
+    from repro.obs.bench import record_section
+
+    return record_section(section, payload, path=path)
 
 
 def headline_detection(

@@ -1,0 +1,63 @@
+"""Perf-regression gate over ``BENCH_history.jsonl`` — CI entry point.
+
+Thin command-line wrapper over :mod:`repro.obs.bench`: compares the
+latest benchmark record of each gated metric to the median of a baseline
+window of earlier records and exits non-zero when any metric regressed
+past the threshold.  The CI ``perf-smoke`` job runs it after appending a
+fresh record via ``benchmarks/export.py --quick``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/gate.py --history BENCH_history.jsonl
+    PYTHONPATH=src python benchmarks/gate.py --threshold 200 \
+        --metric parallel_train.serial_total_seconds:lower \
+        --metric headline_detection.ratio_min:higher
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.obs.bench import (
+        DEFAULT_GATE_METRICS, BenchHistory, GateMetric, gate,
+    )
+
+    parser = argparse.ArgumentParser(
+        description="fail when the latest benchmark record regressed"
+    )
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY),
+                        help=f"history file (default: {DEFAULT_HISTORY})")
+    parser.add_argument("--window", type=int, default=5,
+                        help="baseline window size (median-of-N, default 5)")
+    parser.add_argument("--threshold", type=float, default=50.0,
+                        help="regression threshold in percent (default 50)")
+    parser.add_argument("--metric", action="append", default=[],
+                        metavar="SECTION.METRIC[:lower|higher]",
+                        help="gate this metric instead of the default set "
+                             "(repeatable; suffix names the better direction)")
+    args = parser.parse_args(argv)
+
+    try:
+        metrics = ([GateMetric.parse(spec) for spec in args.metric]
+                   or list(DEFAULT_GATE_METRICS))
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = gate(
+        BenchHistory(args.history),
+        window=args.window,
+        threshold_pct=args.threshold,
+        metrics=metrics,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

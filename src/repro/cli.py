@@ -61,6 +61,9 @@ from repro.sysmodel.snapshot import load_image, save_image
 
 log = get_logger("cli")
 
+#: Where ``--profile`` without an argument writes the profile document.
+DEFAULT_PROFILE_PATH = ".encore/profile.json"
+
 
 def _load_corpus(directory: Optional[Path]) -> List[SystemImage]:
     if directory is None:
@@ -129,6 +132,20 @@ def _record_ledger(
     if encore.quarantine.dropped:
         quarantine_meta = dict(encore.quarantine.counts_by_stage())
         quarantine_meta["total"] = encore.quarantine.dropped
+    from repro.obs.profile import get_profiler
+
+    profile_meta: Dict[str, object] = {}
+    profiler = get_profiler()
+    if profiler is not None and (profiler.stages or profiler.shards):
+        profile_meta = {
+            "digest": profiler.digest(),
+            "stages": len(profiler.stages),
+            "shards": len(profiler.shards),
+            "max_rss_bytes": max(
+                [int(s.max_rss_bytes) for s in profiler.stages.values()]
+                + [int(s.get("max_rss_bytes", 0)) for s in profiler.shards]
+            ),
+        }
     entry = LedgerEntry(
         command=command,
         config_fingerprint=fingerprint_payload(encore.worker_config().to_dict()),
@@ -143,6 +160,7 @@ def _record_ledger(
         metrics=metric_totals(get_registry()),
         workers=_workers(args),
         quarantine=quarantine_meta,
+        profile=profile_meta,
     )
     ledger = default_ledger(getattr(args, "ledger", None))
     ledger.append(entry)
@@ -453,6 +471,79 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     return 0 if diff.identical() else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Render a saved profile document (table, JSON, or Chrome trace)."""
+    import json as _json
+
+    from repro.obs.profile import chrome_trace, load_profile, render_profile
+
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(
+            f"no profile document at {path} "
+            "(record one with --profile on train/check/audit)"
+        )
+    try:
+        doc = load_profile(path)
+    except ValueError as exc:
+        raise SystemExit(f"corrupt profile document {path}: {exc}")
+    if args.format == "json":
+        print(_json.dumps(doc, indent=1, sort_keys=True))
+    elif args.format == "chrome":
+        trace = chrome_trace(doc)
+        if args.out:
+            from repro.obs.fileio import atomic_write_text
+
+            atomic_write_text(args.out, _json.dumps(trace) + "\n")
+            print(f"chrome trace written to {args.out} "
+                  "(load in chrome://tracing or https://ui.perfetto.dev)")
+        else:
+            print(_json.dumps(trace))
+    else:
+        print(render_profile(doc, top=args.top), end="")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Show the benchmark history or gate the latest run against it."""
+    from repro.obs.bench import (
+        DEFAULT_GATE_METRICS, BenchHistory, GateMetric, gate,
+    )
+
+    history = BenchHistory(args.history)
+    if args.action == "show":
+        records = history.records()[-args.last:]
+        if not records:
+            print(f"bench history {history.path} is empty")
+            return 0
+        for record in records:
+            sha = str(record.get("git_sha", ""))[:12] or "-"
+            payload = record.get("payload", {})
+            detail = ""
+            if isinstance(payload, dict):
+                for key in ("serial_total_seconds", "ratio_min"):
+                    if key in payload:
+                        detail = f" {key}={payload[key]}"
+                        break
+            print(f"{record.get('timestamp', '-'):<21} "
+                  f"{str(record.get('section', '-')):<20} sha={sha}{detail}")
+        return 0
+    # diff: latest record per gated metric vs the baseline window median.
+    try:
+        metrics = (
+            tuple(GateMetric.parse(spec) for spec in args.metric)
+            if args.metric else DEFAULT_GATE_METRICS
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    result = gate(
+        history, window=args.window, threshold_pct=args.threshold,
+        metrics=metrics,
+    )
+    print(result.render())
+    return 0 if result.ok else 1
+
+
 def cmd_quarantine(args: argparse.Namespace) -> int:
     """List images the error policy dropped in past runs."""
     from repro.core.resilience import (
@@ -495,6 +586,13 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
                        help="write a nested-span JSON trace of this run")
     group.add_argument("--metrics", metavar="FILE",
                        help="write the metrics snapshot as JSON ('-' for stdout)")
+    group.add_argument("--profile", metavar="FILE", nargs="?",
+                       const=DEFAULT_PROFILE_PATH,
+                       help="record per-stage wall/CPU/RSS/allocation "
+                            "profiles (including worker shards) and write "
+                            "the profile document here (default: "
+                            f"{DEFAULT_PROFILE_PATH}; render it with "
+                            "'repro profile')")
     group.add_argument("--ledger", metavar="FILE",
                        help="run-ledger path (default: .encore/ledger.jsonl)")
     group.add_argument("--no-ledger", action="store_true",
@@ -617,6 +715,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_ledger)
 
     p = sub.add_parser(
+        "profile", help="render a saved resource-profile document"
+    )
+    p.add_argument("path", nargs="?", default=DEFAULT_PROFILE_PATH,
+                   help="profile document written by --profile "
+                        f"(default: {DEFAULT_PROFILE_PATH})")
+    p.add_argument("--format", choices=["table", "json", "chrome"],
+                   default="table",
+                   help="table (default), raw JSON, or Chrome trace_event "
+                        "JSON for chrome://tracing / Perfetto")
+    p.add_argument("--out", metavar="FILE",
+                   help="with --format chrome: write the trace here "
+                        "instead of stdout")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="stages to list in the table (default: 10)")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="show or gate the benchmark history"
+    )
+    p.add_argument("action", choices=["show", "diff"],
+                   help="show: list history records; diff: gate the "
+                        "latest run against the baseline window "
+                        "(exit 1 on regression)")
+    p.add_argument("--history", metavar="FILE", default="BENCH_history.jsonl",
+                   help="history file (default: BENCH_history.jsonl)")
+    p.add_argument("--window", type=int, default=5, metavar="N",
+                   help="baseline records to take the median of "
+                        "(default: 5)")
+    p.add_argument("--threshold", type=float, default=50.0, metavar="PCT",
+                   help="regression tolerance in percent over the "
+                        "baseline median (default: 50)")
+    p.add_argument("--metric", action="append", default=[],
+                   metavar="SECTION.PATH[:lower|higher]",
+                   help="gate this metric instead of the defaults "
+                        "(suffix names which direction is better; "
+                        "repeatable)")
+    p.add_argument("--last", type=int, default=10, metavar="N",
+                   help="records to list with 'show' (default: 10)")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
         "quarantine", help="list images dropped by the error policy"
     )
     _add_obs_options(p)
@@ -641,6 +780,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "trace", None):
         tracer = Tracer()
         set_tracer(tracer)
+    profiler = None
+    if getattr(args, "profile", None):
+        from repro.obs.profile import StageProfiler, set_profiler
+
+        profiler = StageProfiler().start()
+        set_profiler(profiler)
+        if tracer is None:
+            # The profile document embeds the span tree (Chrome export
+            # needs it), so profiling implies an in-memory tracer even
+            # without --trace; it is only saved into the profile.
+            tracer = Tracer()
+            set_tracer(tracer)
     from repro.core.persistence import SnapshotCorruptError
     from repro.core.resilience import ErrorBudgetExceeded
 
@@ -657,8 +808,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if tracer is not None:
             set_tracer(None)
-            tracer.save(args.trace)
-            log.info("trace.saved", path=args.trace, spans=len(tracer.roots))
+            if getattr(args, "trace", None):
+                tracer.save(args.trace)
+                log.info("trace.saved", path=args.trace,
+                         spans=len(tracer.roots))
+        if profiler is not None:
+            from repro.obs.profile import (
+                profile_document, save_profile, set_profiler,
+            )
+
+            set_profiler(None)
+            profiler.stop()
+            doc = profile_document(
+                profiler, tracer,
+                command=args.command,
+                workers=getattr(args, "workers", 1) or 1,
+                run_seconds=round(time.monotonic() - args._run_started, 6),
+            )
+            save_profile(doc, args.profile)
+            log.info("profile.saved", path=args.profile,
+                     stages=len(profiler.stages), shards=len(profiler.shards))
         metrics_dest = getattr(args, "metrics", None)
         if metrics_dest:
             snapshot = get_registry().to_json()

@@ -267,6 +267,9 @@ class EnCore:
         """
         self._require_forkable(workers)
         self.quarantine.clear()
+        from repro.obs.profile import process_cpu_seconds
+
+        cpu_start = process_cpu_seconds()
         with span("train") as train_span:
             with span("train.assemble") as assemble_span:
                 dataset = self._sharded_assembler(workers, chunk_size).assemble(images)
@@ -274,6 +277,9 @@ class EnCore:
             train_span.annotate(systems=len(dataset), rules=len(model.rules))
         model.telemetry["assemble_seconds"] = assemble_span.duration
         model.telemetry["train_seconds"] = train_span.duration
+        # Coordinator-process CPU only; worker CPU lives in the profile
+        # document's shard samples (see repro.obs.profile).
+        model.telemetry["train_cpu_seconds"] = process_cpu_seconds() - cpu_start
         if workers > 1:
             model.telemetry["assemble_workers"] = float(workers)
         return model

@@ -109,6 +109,10 @@ class ShardResult:
     #: Total images dropped, including silent ``skip``-policy drops that
     #: keep no record — what the coordinator's error budget counts.
     dropped: int = 0
+    #: :meth:`repro.obs.profile.StageProfiler.to_dict` snapshot of the
+    #: worker's resource profile; empty unless the coordinator is
+    #: profiling (the payload carries the flag).
+    profile: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -117,6 +121,7 @@ class ShardResult:
             "shard_index": self.shard_index,
             "quarantine": list(self.quarantine),
             "dropped": self.dropped,
+            "profile": dict(self.profile),
         }
 
     @classmethod
@@ -127,6 +132,7 @@ class ShardResult:
             shard_index=int(data.get("shard_index", 0)),
             quarantine=[dict(r) for r in data.get("quarantine", ())],
             dropped=int(data.get("dropped", 0)),
+            profile=dict(data.get("profile", {})),
         )
 
 
@@ -178,6 +184,8 @@ class CheckResult:
     #: under a non-strict error policy (no report is produced for them).
     quarantine: List[Dict[str, Any]] = field(default_factory=list)
     dropped: int = 0
+    #: Worker resource-profile snapshot (see :class:`ShardResult.profile`).
+    profile: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -187,6 +195,7 @@ class CheckResult:
             "drift": self.drift,
             "quarantine": list(self.quarantine),
             "dropped": self.dropped,
+            "profile": dict(self.profile),
         }
 
     @classmethod
@@ -198,4 +207,5 @@ class CheckResult:
             drift=dict(data.get("drift", {})),
             quarantine=[dict(r) for r in data.get("quarantine", ())],
             dropped=int(data.get("dropped", 0)),
+            profile=dict(data.get("profile", {})),
         )

@@ -30,6 +30,12 @@ from repro.engine.artifacts import CheckResult
 from repro.engine.sharding import chunked
 from repro.obs import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.profile import (
+    StageProfiler,
+    get_profiler,
+    merge_profile_snapshot,
+    set_profiler,
+)
 from repro.obs.tracing import span
 from repro.sysmodel.image import SystemImage
 from repro.sysmodel.snapshot import image_from_dict, image_to_dict
@@ -52,25 +58,45 @@ def _check_shard(payload: Dict[str, Any]) -> CheckResult:
     from repro.core.pipeline import EnCore, EnCoreConfig
 
     set_registry(MetricsRegistry())
-    encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
-    encore.load_model_data(payload["model"])
-    if payload.get("faults"):
-        from repro.testing.faults import FaultPlan
+    profiler = None
+    if payload.get("profile"):
+        profiler = set_profiler(StageProfiler().start())
+    try:
+        encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
+        encore.load_model_data(payload["model"])
+        if payload.get("faults"):
+            from repro.testing.faults import FaultPlan
 
-        encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
-    reports = []
-    for data in payload["images"]:
-        report = encore._check_guarded(image_from_dict(data))
-        if report is not None:
-            reports.append(report)
-    return CheckResult(
-        reports=reports,
-        metrics=get_registry().to_dict(),
-        shard_index=payload["shard_index"],
-        drift=encore.drift.to_dict() if encore.drift is not None else {},
-        quarantine=encore.quarantine.to_dicts(),
-        dropped=encore.quarantine.dropped,
-    )
+            encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
+        reports = []
+        shard_cm = (
+            profiler.shard("check", payload["shard_index"],
+                           items=len(payload["images"]))
+            if profiler is not None else None
+        )
+        if shard_cm is not None:
+            shard_cm.__enter__()
+        try:
+            for data in payload["images"]:
+                report = encore._check_guarded(image_from_dict(data))
+                if report is not None:
+                    reports.append(report)
+        finally:
+            if shard_cm is not None:
+                shard_cm.__exit__(None, None, None)
+        return CheckResult(
+            reports=reports,
+            metrics=get_registry().to_dict(),
+            shard_index=payload["shard_index"],
+            drift=encore.drift.to_dict() if encore.drift is not None else {},
+            quarantine=encore.quarantine.to_dicts(),
+            dropped=encore.quarantine.dropped,
+            profile=profiler.to_dict() if profiler is not None else {},
+        )
+    finally:
+        if profiler is not None:
+            set_profiler(None)
+            profiler.stop()
 
 
 class BatchChecker:
@@ -124,6 +150,8 @@ class BatchChecker:
             }
             if self.fault_plan is not None:
                 payload["faults"] = self.fault_plan.to_dict()
+            if get_profiler() is not None:
+                payload["profile"] = True
             payloads.append(payload)
         with span("check.batch", targets=len(images), workers=self.workers):
             try:
@@ -167,6 +195,8 @@ class BatchChecker:
 
     def _fold(self, result: CheckResult) -> None:
         merge_snapshot(result.metrics)
+        if result.profile:
+            merge_profile_snapshot(result.profile)
         if self.drift is not None and result.drift:
             self.drift.merge_snapshot(result.drift)
         if self.quarantine is not None:
@@ -175,9 +205,12 @@ class BatchChecker:
 
 
 def _check_shard_inline(payload: Dict[str, Any]) -> CheckResult:
-    """Run a shard in-process without clobbering the caller's registry."""
+    """Run a shard in-process without clobbering the caller's registry
+    (or its profiler — ``_check_shard`` installs worker-local ones)."""
     parent = get_registry()
+    parent_profiler = get_profiler()
     try:
         return _check_shard(payload)
     finally:
         set_registry(parent)
+        set_profiler(parent_profiler)

@@ -50,6 +50,12 @@ from repro.core.resilience import (
 from repro.engine.artifacts import ShardResult
 from repro.obs import get_logger
 from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.profile import (
+    StageProfiler,
+    get_profiler,
+    merge_profile_snapshot,
+    set_profiler,
+)
 from repro.obs.tracing import span
 from repro.sysmodel.image import SystemImage
 from repro.sysmodel.snapshot import image_from_dict, image_to_dict
@@ -95,21 +101,38 @@ def _assemble_shard(payload: Dict[str, Any]) -> ShardResult:
     from repro.core.pipeline import EnCore, EnCoreConfig
 
     set_registry(MetricsRegistry())
-    encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
-    if payload.get("faults"):
-        from repro.testing.faults import FaultPlan
+    profiler = None
+    if payload.get("profile"):
+        profiler = set_profiler(StageProfiler().start())
+    try:
+        encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
+        if payload.get("faults"):
+            from repro.testing.faults import FaultPlan
 
-        encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
-    images = [image_from_dict(d) for d in payload["images"]]
-    shard_index = payload["shard_index"]
-    partial = encore.assembler.assemble_partial(images, shard_index=shard_index)
-    return ShardResult(
-        partial=partial,
-        metrics=get_registry().to_dict(),
-        shard_index=shard_index,
-        quarantine=encore.assembler.quarantine.to_dicts(),
-        dropped=encore.assembler.quarantine.dropped,
-    )
+            encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
+        images = [image_from_dict(d) for d in payload["images"]]
+        shard_index = payload["shard_index"]
+        if profiler is not None:
+            with profiler.shard("assemble", shard_index, items=len(images)):
+                partial = encore.assembler.assemble_partial(
+                    images, shard_index=shard_index
+                )
+        else:
+            partial = encore.assembler.assemble_partial(
+                images, shard_index=shard_index
+            )
+        return ShardResult(
+            partial=partial,
+            metrics=get_registry().to_dict(),
+            shard_index=shard_index,
+            quarantine=encore.assembler.quarantine.to_dicts(),
+            dropped=encore.assembler.quarantine.dropped,
+            profile=profiler.to_dict() if profiler is not None else {},
+        )
+    finally:
+        if profiler is not None:
+            set_profiler(None)
+            profiler.stop()
 
 
 class ShardedAssembler:
@@ -195,6 +218,8 @@ class ShardedAssembler:
         }
         if self.fault_plan is not None:
             payload["faults"] = self.fault_plan.to_dict()
+        if get_profiler() is not None:
+            payload["profile"] = True
         return payload
 
     def _sharded_partial(self, images: List[SystemImage]) -> PartialDataset:
@@ -247,6 +272,8 @@ class ShardedAssembler:
                 merged.extend(result.partial)
                 if result.metrics:
                     merge_snapshot(result.metrics)
+                if result.profile:
+                    merge_profile_snapshot(result.profile)
                 self.assembler.quarantine.extend_dicts(
                     result.quarantine, dropped=result.dropped
                 )
@@ -370,4 +397,6 @@ class ShardedAssembler:
             )
         if result.metrics:
             merge_snapshot(result.metrics)
+        if result.profile:
+            merge_profile_snapshot(result.profile)
         return result.partial, list(result.quarantine), result.dropped

@@ -13,9 +13,16 @@ Three cooperating layers, all dependency-free:
   (the evidence record behind every learned rule) and
   :class:`DriftMonitor` (checked-fleet vs. training-corpus
   distribution drift, PSI/KL per attribute);
+* :mod:`repro.obs.profile` — per-stage resource profiling
+  (:class:`StageProfiler`: wall/CPU/RSS/allocation peaks, mergeable
+  across worker processes) with JSON, Chrome ``trace_event`` and text
+  exports;
 * :mod:`repro.obs.ledger` — the append-only run ledger every CLI
   train/check/audit run records into, with :func:`diff_entries` for
   run-over-run regression comparison;
+* :mod:`repro.obs.bench` — the benchmark history store
+  (``BENCH_history.jsonl``) and the median-of-N perf-regression gate
+  behind ``repro bench diff``;
 * :mod:`repro.obs.fileio` — crash-safe output primitives
   (:func:`atomic_write_text`, :func:`append_line`) behind every
   trace / metrics / ledger file the layer writes.
@@ -46,6 +53,16 @@ from repro.obs.metrics import (
     reset_registry,
     set_registry,
 )
+from repro.obs.profile import (
+    StageProfile,
+    StageProfiler,
+    chrome_trace,
+    get_profiler,
+    merge_profile_snapshot,
+    profile_document,
+    render_profile,
+    set_profiler,
+)
 from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
 
 __all__ = [
@@ -59,18 +76,26 @@ __all__ = [
     "MetricsRegistry",
     "Provenance",
     "Span",
+    "StageProfile",
+    "StageProfiler",
     "StructuredLogger",
     "Tracer",
     "append_line",
     "atomic_write_text",
+    "chrome_trace",
     "configure",
     "diff_entries",
     "get_logger",
+    "get_profiler",
     "get_registry",
     "get_tracer",
+    "merge_profile_snapshot",
     "merge_snapshot",
+    "profile_document",
+    "render_profile",
     "render_stats",
     "reset_registry",
+    "set_profiler",
     "set_registry",
     "set_tracer",
     "span",

@@ -1,0 +1,329 @@
+"""Benchmark history and the perf-regression gate.
+
+``BENCH_headline.json`` is a snapshot; this module gives it a
+trajectory.  Every benchmark export appends one fingerprinted record per
+section to ``BENCH_history.jsonl`` (append-only JSONL, same crash-safe
+writer as the run ledger), stamped with the git SHA and the default
+configuration fingerprint so any history entry is attributable to a
+commit and a configuration.
+
+The gate (``repro bench diff`` / ``benchmarks/gate.py``) compares the
+latest record of each gated metric against the **median** of a baseline
+window of earlier records — median-of-N absorbs one-off timing noise —
+and flags a regression only when the latest value is worse than the
+median by more than a configurable percentage.  Timing metrics regress
+upward, quality metrics (detection ratios) regress downward; both
+directions are expressible.  Records missing a gated metric are skipped
+(backfill-safe: pre-stamping history entries still read fine).
+
+Exit contract (what the CI ``perf-smoke`` job keys on): 0 when every
+gated metric is within tolerance or there is not yet enough history,
+1 when any metric regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.fileio import append_line, atomic_write_text
+from repro.obs.ledger import fingerprint_payload
+
+#: Default history location, next to ``BENCH_headline.json`` in the repo
+#: root when driven by ``benchmarks/export.py``; relative to the working
+#: directory for the CLI.
+DEFAULT_HISTORY_PATH = Path("BENCH_history.jsonl")
+
+
+def git_sha(cwd: Optional[Union[str, Path]] = None) -> str:
+    """The current commit SHA, or "" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
+def default_config_fingerprint() -> str:
+    """Fingerprint of the default :class:`EnCoreConfig` the benches run."""
+    from repro.core.pipeline import EnCoreConfig
+
+    return fingerprint_payload(EnCoreConfig().to_dict())
+
+
+class BenchHistory:
+    """Append-only JSONL store of benchmark records."""
+
+    def __init__(self, path: Union[str, Path] = DEFAULT_HISTORY_PATH) -> None:
+        self.path = Path(path)
+
+    def append(
+        self,
+        section: str,
+        payload: Mapping,
+        sha: str = "",
+        config_fingerprint: str = "",
+        timestamp: str = "",
+    ) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "section": section,
+            "payload": dict(payload),
+            "git_sha": sha,
+            "config_fingerprint": config_fingerprint,
+            "timestamp": timestamp or time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+        }
+        record["fingerprint"] = fingerprint_payload({
+            k: record[k]
+            for k in ("section", "payload", "git_sha", "config_fingerprint")
+        })
+        append_line(self.path, json.dumps(record, sort_keys=True))
+        return record
+
+    def records(self, section: Optional[str] = None) -> List[Dict[str, object]]:
+        """All parseable records, oldest first (corrupt lines skipped)."""
+        if not self.path.exists():
+            return []
+        out: List[Dict[str, object]] = []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # crash-truncated tail line
+            if not isinstance(record, dict) or "section" not in record:
+                continue
+            if section is None or record.get("section") == section:
+                out.append(record)
+        return out
+
+    def values(self, section: str, metric: str) -> List[float]:
+        """The metric's value per record, skipping records without it."""
+        out: List[float] = []
+        for record in self.records(section):
+            value = _metric_value(record, metric)
+            if value is not None:
+                out.append(value)
+        return out
+
+
+def _metric_value(record: Mapping, metric: str) -> Optional[float]:
+    """Resolve a dotted metric path inside a record's payload."""
+    node: object = record.get("payload", {})
+    for part in metric.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+# -- the gate ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GateMetric:
+    """One gated series: where to find it, which direction is worse."""
+
+    section: str
+    metric: str
+    lower_is_better: bool = True
+
+    @property
+    def name(self) -> str:
+        return f"{self.section}.{self.metric}"
+
+    @classmethod
+    def parse(cls, spec: str) -> "GateMetric":
+        """Parse ``section.dotted.metric[:lower|higher]`` CLI specs.
+
+        The suffix names which direction is *better*; default ``lower``
+        (timings).
+        """
+        path, _, direction = spec.partition(":")
+        if direction not in ("", "lower", "higher"):
+            raise ValueError(
+                f"bad gate direction {direction!r} (use 'lower' or 'higher')"
+            )
+        section, _, metric = path.partition(".")
+        if not section or not metric:
+            raise ValueError(
+                f"bad gate metric {spec!r} (need section.metric[:direction])"
+            )
+        return cls(section, metric, lower_is_better=direction != "higher")
+
+
+#: What the gate watches by default: end-to-end timings regress upward,
+#: the headline detection ratio regresses downward.
+DEFAULT_GATE_METRICS: Sequence[GateMetric] = (
+    GateMetric("parallel_train", "serial_total_seconds", lower_is_better=True),
+    GateMetric("parallel_train", "sharded_total_seconds", lower_is_better=True),
+    GateMetric("parallel_train", "serial_assemble_seconds", lower_is_better=True),
+    GateMetric("headline_detection", "ratio_min", lower_is_better=False),
+)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+@dataclass
+class GateFinding:
+    """One gated metric's verdict."""
+
+    metric: GateMetric
+    baseline: Optional[float] = None
+    latest: Optional[float] = None
+    samples: int = 0
+    regressed: bool = False
+    note: str = ""
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        if self.baseline in (None, 0) or self.latest is None:
+            return None
+        return (self.latest - self.baseline) / abs(self.baseline) * 100
+
+    def describe(self) -> str:
+        if self.note:
+            return f"{self.metric.name}: {self.note}"
+        direction = "lower" if self.metric.lower_is_better else "higher"
+        change = self.change_pct
+        change_str = f"{change:+.1f}%" if change is not None else "n/a"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.metric.name}: {self.latest:.3f} vs median-of-"
+            f"{self.samples} baseline {self.baseline:.3f} "
+            f"({change_str}, {direction} is better) ... {verdict}"
+        )
+
+
+@dataclass
+class GateResult:
+    """All findings of one gate run."""
+
+    findings: List[GateFinding] = field(default_factory=list)
+    window: int = 5
+    threshold_pct: float = 50.0
+
+    @property
+    def regressions(self) -> List[GateFinding]:
+        return [f for f in self.findings if f.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench gate: window={self.window} "
+            f"threshold={self.threshold_pct:g}%"
+        ]
+        for finding in self.findings:
+            lines.append(f"  {finding.describe()}")
+        lines.append(
+            "  verdict: "
+            + ("ok" if self.ok
+               else f"{len(self.regressions)} metric(s) regressed")
+        )
+        return "\n".join(lines)
+
+
+def gate(
+    history: BenchHistory,
+    window: int = 5,
+    threshold_pct: float = 50.0,
+    metrics: Sequence[GateMetric] = DEFAULT_GATE_METRICS,
+) -> GateResult:
+    """Compare each gated metric's latest record to its baseline window.
+
+    The baseline is the median of up to *window* records preceding the
+    latest one; a metric with fewer than two usable records is reported
+    as ``insufficient history`` and never fails the gate.
+    """
+    result = GateResult(window=window, threshold_pct=threshold_pct)
+    for metric in metrics:
+        values = history.values(metric.section, metric.metric)
+        if len(values) < 2:
+            result.findings.append(GateFinding(
+                metric=metric,
+                note=f"insufficient history ({len(values)} record(s))",
+            ))
+            continue
+        latest = values[-1]
+        baseline_values = values[max(0, len(values) - 1 - window):-1]
+        baseline = _median(baseline_values)
+        tolerance = threshold_pct / 100.0
+        if metric.lower_is_better:
+            regressed = latest > baseline * (1 + tolerance)
+        else:
+            regressed = latest < baseline * (1 - tolerance)
+        result.findings.append(GateFinding(
+            metric=metric, baseline=baseline, latest=latest,
+            samples=len(baseline_values), regressed=regressed,
+        ))
+    return result
+
+
+# -- headline recording (shared by benchmarks/export.py and the benches) -------
+
+
+def record_section(
+    section: str,
+    payload: Mapping,
+    path: Union[str, Path],
+    history_path: Optional[Union[str, Path]] = None,
+    stamp: bool = True,
+) -> Path:
+    """Merge one section into the headline record and append to history.
+
+    Stamps the payload with ``git_sha`` / ``config_fingerprint`` /
+    ``recorded_at`` (satisfying attribution without breaking readers:
+    consumers tolerate the fields' absence in older records).  The
+    headline write is atomic; the history append is line-atomic.
+    """
+    path = Path(path)
+    payload = dict(payload)
+    sha = ""
+    config_fp = ""
+    if stamp:
+        sha = payload.setdefault("git_sha", git_sha(cwd=path.parent))
+        config_fp = payload.setdefault(
+            "config_fingerprint", default_config_fingerprint()
+        )
+        payload.setdefault(
+            "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        )
+    data: Dict[str, object] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            data = {}  # a corrupt record is regenerated, not fatal
+    data[section] = payload
+    atomic_write_text(path, json.dumps(data, indent=1, sort_keys=True) + "\n")
+    history = BenchHistory(
+        history_path if history_path is not None
+        else path.parent / DEFAULT_HISTORY_PATH.name
+    )
+    history.append(
+        section, payload, sha=str(sha), config_fingerprint=str(config_fp)
+    )
+    return path

@@ -67,6 +67,10 @@ class LedgerEntry:
     #: quarantined run that salvaged the clean subset must diff as
     #: semantically identical to a clean run over that same subset.
     quarantine: Dict[str, int] = field(default_factory=dict)
+    #: Resource-profile digest of a ``--profile`` run (digest, stage and
+    #: shard counts, peak RSS).  Run metadata like timings: resource
+    #: consumption varies per invocation and never enters :meth:`core`.
+    profile: Dict[str, object] = field(default_factory=dict)
     run_id: str = ""
     timestamp: str = ""
 
@@ -108,6 +112,7 @@ class LedgerEntry:
             "quarantine": {
                 k: self.quarantine[k] for k in sorted(self.quarantine)
             },
+            "profile": {k: self.profile[k] for k in sorted(self.profile)},
         })
         return out
 
@@ -136,6 +141,7 @@ class LedgerEntry:
             quarantine={
                 str(k): int(v) for k, v in data.get("quarantine", {}).items()
             },
+            profile=dict(data.get("profile", {})),
             run_id=str(data.get("run_id", "")),
             timestamp=str(data.get("timestamp", "")),
         )

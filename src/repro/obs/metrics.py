@@ -48,6 +48,18 @@ def _prom_name(name: str) -> str:
     return _PROM_NAME_RE.sub("_", name)
 
 
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    The spec requires exactly three escapes inside quoted label values:
+    backslash, double quote, and line feed (backslash first, or the
+    other escapes would be double-escaped).
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 class Counter:
     """A monotonically-increasing count."""
 
@@ -305,7 +317,9 @@ class MetricsRegistry:
             lines.append(f"# TYPE {prom} {kind}")
             for labelset in sorted(self._metrics[name]):
                 metric = self._metrics[name][labelset]
-                label_str = ",".join(f'{k}="{v}"' for k, v in labelset)
+                label_str = ",".join(
+                    f'{k}="{_prom_label_value(v)}"' for k, v in labelset
+                )
                 if isinstance(metric, Histogram):
                     cumulative = metric.cumulative_counts()
                     bounds = [str(b) for b in metric.buckets] + ["+Inf"]

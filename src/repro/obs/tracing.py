@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 
 
 class Span:
@@ -92,10 +93,18 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **attributes: object) -> Iterator[Span]:
-        """Open a span on this tracer directly (bypasses the global one)."""
+        """Open a span on this tracer directly (bypasses the global one).
+
+        A span whose body raises is still closed, annotated with
+        ``error=<exception type>`` so failed stages are visible in the
+        trace instead of silently truncating it.
+        """
         opened = self.open_span(name, dict(attributes))
         try:
             yield opened
+        except BaseException as exc:
+            opened.annotate(error=type(exc).__name__)
+            raise
         finally:
             self.close_span(opened)
 
@@ -145,6 +154,11 @@ def span(name: str, **attributes: object) -> Iterator[Span]:
         with span("infer.template", template=t.name) as s:
             ...
             s.annotate(pairs=pair_count)
+
+    When a :class:`~repro.obs.profile.StageProfiler` is installed (the
+    CLI's ``--profile``), the region's CPU time and memory peaks are
+    sampled alongside the wall clock; a raising body still closes the
+    span, annotated with ``error=<exception type>``.
     """
     tracer = _active_tracer
     if tracer is not None:
@@ -154,9 +168,18 @@ def span(name: str, **attributes: object) -> Iterator[Span]:
         clock = time.perf_counter
         opened = Span(name, dict(attributes))
         opened.start = clock()
+    profiler = get_profiler()
+    profile_cm = profiler.profile(name) if profiler is not None else None
+    if profile_cm is not None:
+        profile_cm.__enter__()
     try:
         yield opened
+    except BaseException as exc:
+        opened.annotate(error=type(exc).__name__)
+        raise
     finally:
+        if profile_cm is not None:
+            profile_cm.__exit__(None, None, None)
         if tracer is not None:
             tracer.close_span(opened)
         else:

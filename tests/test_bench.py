@@ -1,0 +1,241 @@
+"""Tests for the benchmark history store and perf-regression gate."""
+
+import importlib
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench import (
+    DEFAULT_GATE_METRICS,
+    BenchHistory,
+    GateMetric,
+    gate,
+    record_section,
+)
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def import_benchmark_module(name):
+    sys.path.insert(0, str(BENCHMARKS_DIR))
+    try:
+        return importlib.import_module(name)
+    finally:
+        sys.path.pop(0)
+
+
+@pytest.fixture()
+def history(tmp_path):
+    return BenchHistory(tmp_path / "BENCH_history.jsonl")
+
+
+def seed_history(history, values, section="parallel_train",
+                 metric="serial_total_seconds"):
+    for value in values:
+        history.append(section, {metric: value}, sha="abc123")
+
+
+class TestBenchHistory:
+    def test_append_and_read_round_trip(self, history):
+        record = history.append(
+            "parallel_train", {"serial_total_seconds": 1.5},
+            sha="deadbeef", config_fingerprint="cfg",
+        )
+        assert len(record["fingerprint"]) == 64
+        (read,) = history.records()
+        assert read["payload"]["serial_total_seconds"] == 1.5
+        assert read["git_sha"] == "deadbeef"
+        assert read["config_fingerprint"] == "cfg"
+        assert read["timestamp"]
+
+    def test_missing_file_reads_empty(self, history):
+        assert history.records() == []
+        assert history.values("parallel_train", "serial_total_seconds") == []
+
+    def test_corrupt_lines_skipped(self, history):
+        seed_history(history, [1.0, 2.0])
+        with history.path.open("a") as fh:
+            fh.write('{"truncated\n')
+            fh.write("not json at all\n")
+            fh.write('"a bare string"\n')
+        assert len(history.records()) == 2
+
+    def test_section_filter(self, history):
+        seed_history(history, [1.0])
+        seed_history(history, [2.5], section="headline_detection",
+                     metric="ratio_min")
+        assert len(history.records("parallel_train")) == 1
+        assert history.values("headline_detection", "ratio_min") == [2.5]
+
+    def test_records_missing_metric_skipped(self, history):
+        history.append("parallel_train", {"unrelated": 1})
+        seed_history(history, [3.0])
+        assert history.values("parallel_train", "serial_total_seconds") == [3.0]
+
+    def test_dotted_metric_path(self, history):
+        history.append("s", {"nested": {"inner": 7}})
+        assert history.values("s", "nested.inner") == [7.0]
+
+
+class TestGateMetric:
+    def test_parse_default_direction(self):
+        metric = GateMetric.parse("parallel_train.serial_total_seconds")
+        assert metric.section == "parallel_train"
+        assert metric.metric == "serial_total_seconds"
+        assert metric.lower_is_better
+
+    def test_parse_higher_direction_and_dotted_path(self):
+        metric = GateMetric.parse("headline_detection.nested.ratio:higher")
+        assert metric.metric == "nested.ratio"
+        assert not metric.lower_is_better
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            GateMetric.parse("noseparator")
+        with pytest.raises(ValueError):
+            GateMetric.parse("a.b:sideways")
+
+
+class TestGate:
+    METRIC = (GateMetric("parallel_train", "serial_total_seconds"),)
+
+    def test_flags_synthetic_2x_slowdown(self, history):
+        seed_history(history, [1.0, 1.1, 0.95, 1.05, 2.0])
+        result = gate(history, window=5, threshold_pct=50.0,
+                      metrics=self.METRIC)
+        assert not result.ok
+        (finding,) = result.regressions
+        assert finding.latest == 2.0
+        assert "REGRESSED" in finding.describe()
+
+    def test_within_threshold_passes(self, history):
+        seed_history(history, [1.0, 1.1, 0.95, 1.05, 1.2])
+        assert gate(history, window=5, threshold_pct=50.0,
+                    metrics=self.METRIC).ok
+
+    def test_median_absorbs_one_noisy_baseline(self, history):
+        # One 10x outlier in the window must not inflate the baseline.
+        seed_history(history, [1.0, 10.0, 1.0, 1.0, 1.2])
+        result = gate(history, window=5, threshold_pct=50.0,
+                      metrics=self.METRIC)
+        assert result.ok
+        assert result.findings[0].baseline == 1.0
+
+    def test_higher_is_better_direction(self, history):
+        metric = (GateMetric("headline_detection", "ratio_min",
+                             lower_is_better=False),)
+        for value in (2.0, 2.1, 1.9, 0.8):
+            history.append("headline_detection", {"ratio_min": value})
+        result = gate(history, metrics=metric)
+        assert not result.ok
+        for value in (2.0,):
+            history.append("headline_detection", {"ratio_min": value})
+        assert gate(history, metrics=metric).ok
+
+    def test_insufficient_history_never_fails(self, history):
+        seed_history(history, [1.0])
+        result = gate(history, metrics=DEFAULT_GATE_METRICS)
+        assert result.ok
+        assert all("insufficient history" in f.describe()
+                   for f in result.findings)
+
+    def test_window_bounds_baseline(self, history):
+        # Ancient fast records outside the window must not cause alarms.
+        seed_history(history, [0.1, 0.1, 0.1, 1.0, 1.1, 0.9, 1.0, 1.2])
+        assert gate(history, window=3, threshold_pct=50.0,
+                    metrics=self.METRIC).ok
+
+
+class TestRecordSection:
+    def test_stamps_and_appends_history(self, tmp_path):
+        headline = tmp_path / "BENCH_headline.json"
+        record_section("parallel_train", {"serial_total_seconds": 1.0},
+                       path=headline)
+        data = json.loads(headline.read_text())
+        payload = data["parallel_train"]
+        assert "config_fingerprint" in payload
+        assert "recorded_at" in payload
+        assert "git_sha" in payload
+        (record,) = BenchHistory(tmp_path / "BENCH_history.jsonl").records()
+        assert record["payload"]["serial_total_seconds"] == 1.0
+        assert record["config_fingerprint"] == payload["config_fingerprint"]
+
+    def test_sections_merge_without_clobbering(self, tmp_path):
+        headline = tmp_path / "BENCH_headline.json"
+        record_section("a", {"x": 1}, path=headline)
+        record_section("b", {"y": 2}, path=headline)
+        data = json.loads(headline.read_text())
+        assert data["a"]["x"] == 1 and data["b"]["y"] == 2
+
+    def test_corrupt_headline_regenerated(self, tmp_path):
+        headline = tmp_path / "BENCH_headline.json"
+        headline.write_text("{broken")
+        record_section("a", {"x": 1}, path=headline)
+        assert json.loads(headline.read_text())["a"]["x"] == 1
+
+    def test_existing_stamps_preserved(self, tmp_path):
+        record_section("a", {"x": 1, "git_sha": "pinned"},
+                       path=tmp_path / "BENCH_headline.json")
+        (record,) = BenchHistory(tmp_path / "BENCH_history.jsonl").records()
+        assert record["git_sha"] == "pinned"
+
+    def test_export_module_delegates(self, tmp_path):
+        export = import_benchmark_module("export")
+        headline = tmp_path / "BENCH_headline.json"
+        export.record_headline("quick", {"metric": 1.0}, path=headline)
+        assert json.loads(headline.read_text())["quick"]["metric"] == 1.0
+        assert BenchHistory(tmp_path / "BENCH_history.jsonl").records()
+
+
+class TestBenchCli:
+    def seed(self, tmp_path, values):
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        seed_history(history, values)
+        return str(history.path)
+
+    def test_diff_exits_nonzero_on_regression(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 1.1, 0.95, 2.2])
+        rc = main(["bench", "diff", "--history", path])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_diff_passes_clean_history(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 1.1, 0.95, 1.05])
+        assert main(["bench", "diff", "--history", path]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_diff_custom_metric_and_threshold(self, tmp_path):
+        path = self.seed(tmp_path, [1.0, 1.0, 1.4])
+        spec = "parallel_train.serial_total_seconds:lower"
+        assert main(["bench", "diff", "--history", path,
+                     "--metric", spec, "--threshold", "50"]) == 0
+        assert main(["bench", "diff", "--history", path,
+                     "--metric", spec, "--threshold", "20"]) == 1
+
+    def test_diff_rejects_bad_metric_spec(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "diff", "--history", self.seed(tmp_path, [1.0]),
+                  "--metric", "nodots:sideways"])
+
+    def test_show_lists_records(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 2.0])
+        assert main(["bench", "show", "--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "parallel_train" in out
+        assert "serial_total_seconds=2.0" in out
+
+
+class TestGateScript:
+    def test_gate_script_main(self, tmp_path, capsys):
+        gate_mod = import_benchmark_module("gate")
+        history = BenchHistory(tmp_path / "hist.jsonl")
+        seed_history(history, [1.0, 1.0, 3.0])
+        rc = gate_mod.main(["--history", str(history.path)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        seed_history(history, [1.0])
+        assert gate_mod.main(["--history", str(history.path)]) == 0

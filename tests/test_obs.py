@@ -141,8 +141,18 @@ class TestSerialization:
         assert "# TYPE parse_entries_total counter" in text
         assert 'parse_entries_total{app="mysql"} 12' in text
         assert "# TYPE queue_depth gauge" in text
+        assert "# TYPE train_seconds histogram" in text
         assert 'train_seconds_bucket{le="+Inf"} 1' in text
         assert "train_seconds_count 1" in text
+
+    def test_prometheus_label_values_escaped(self):
+        # Exposition format: backslash, double-quote and newline must be
+        # escaped inside label values (in that order — backslash first).
+        registry = MetricsRegistry()
+        registry.counter("c.total", path='we"ird\\app\nline').inc()
+        text = registry.to_prometheus()
+        assert 'c_total{path="we\\"ird\\\\app\\nline"} 1' in text
+        assert "\nline" not in text.replace("\\nline", "")  # no raw newline
 
 
 class TestTracing:
@@ -195,6 +205,34 @@ class TestTracing:
         path = tracer.save(tmp_path / "trace.json")
         data = json.loads(path.read_text())
         assert data["spans"][0]["name"] == "a"
+
+    def test_span_closed_and_annotated_on_error(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("detect"):
+                raise ValueError("bad target")
+        (root,) = tracer.roots
+        assert root.attributes["error"] == "ValueError"
+        assert root.end is not None
+        assert root.duration > 0
+        # The span stack unwound: the next span is a fresh root.
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["detect", "after"]
+
+    def test_global_span_annotates_error(self):
+        registry = set_registry(MetricsRegistry())
+        tracer = Tracer(clock=FakeClock())
+        set_tracer(tracer)
+        try:
+            with pytest.raises(KeyError):
+                with span("check"):
+                    raise KeyError("missing")
+        finally:
+            set_tracer(None)
+            set_registry(MetricsRegistry())
+        assert tracer.roots[0].attributes["error"] == "KeyError"
+        assert registry.histogram("check.seconds").count == 1
 
 
 class TestLogging:
