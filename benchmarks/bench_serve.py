@@ -1,0 +1,181 @@
+"""Load benchmark for the serve daemon: requests/sec and p50/p99 latency.
+
+Boots a :class:`~repro.serve.server.DetectionServer` in-process on an
+ephemeral port (no ledger, so the benchmark leaves no run history), fans
+``--concurrency`` client threads at ``POST /v1/check`` with a fixed set
+of target snapshots, and records the measured throughput and latency
+quantiles into the headline benchmark record::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full load
+
+The ``serve_load`` section lands in ``BENCH_headline.json`` and appends
+a stamped record to ``BENCH_history.jsonl`` via the same
+:func:`~repro.obs.bench.record_section` path as the other benchmarks,
+which puts it under the ``benchmarks/gate.py`` regression gate:
+``serve_load.requests_per_second`` must not drop and
+``serve_load.p99_ms`` must not grow beyond the gate threshold against
+the baseline-window median.
+
+Client-side latencies are folded through
+:meth:`~repro.obs.metrics.Histogram.quantile` — the same estimator the
+daemon's ``/statusz`` SLO summary uses — so the benchmark's p99 and the
+server's scraped p99 mean the same thing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from export import BENCH_PATH, record_headline
+
+#: Client-side latency buckets: finer than the server's, same estimator.
+CLIENT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+def _build_server(corpus_size: int, seed: int, tmp_dir: str):
+    """A trained snapshot + a daemon serving it (no ledger)."""
+    from pathlib import Path
+
+    from repro.core.pipeline import EnCore
+    from repro.corpus.generator import Ec2CorpusGenerator
+    from repro.serve.server import DetectionServer, ServeConfig
+
+    generator = Ec2CorpusGenerator(seed=seed)
+    images = list(generator.generate(corpus_size))
+    encore = EnCore()
+    encore.train(images)
+    snapshot = Path(tmp_dir) / "model.json"
+    encore.save_model(snapshot)
+    config = ServeConfig(
+        snapshot=snapshot,
+        port=0,  # ephemeral
+        max_inflight=8,
+        max_queue=64,
+        queue_timeout_s=30.0,
+        no_ledger=True,
+    )
+    server = DetectionServer(config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, generator
+
+
+def run_load(
+    requests: int = 200,
+    concurrency: int = 8,
+    corpus_size: int = 40,
+    targets: int = 8,
+    seed: int = 29,
+) -> Dict[str, object]:
+    """Drive the daemon and return the ``serve_load`` payload."""
+    import tempfile
+
+    from repro.obs.metrics import Histogram
+    from repro.sysmodel.snapshot import image_to_dict
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        server, generator = _build_server(corpus_size, seed, tmp_dir)
+        base = f"http://127.0.0.1:{server.server_port}"
+        bodies = [
+            json.dumps(
+                {"image": image_to_dict(generator.generate_one(1000 + i))}
+            ).encode()
+            for i in range(targets)
+        ]
+
+        latencies: List[List[float]] = [[] for _ in range(concurrency)]
+        errors = [0] * concurrency
+        per_worker = requests // concurrency
+
+        def worker(worker_index: int) -> None:
+            mine = latencies[worker_index]
+            for i in range(per_worker):
+                body = bodies[(worker_index + i) % len(bodies)]
+                request = urllib.request.Request(
+                    base + "/v1/check", data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                started = time.perf_counter()
+                try:
+                    with urllib.request.urlopen(request, timeout=60) as resp:
+                        resp.read()
+                        if resp.status != 200:
+                            errors[worker_index] += 1
+                except Exception:
+                    errors[worker_index] += 1
+                mine.append(time.perf_counter() - started)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(concurrency)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        shed_total = int(server.shed_total())
+        server.stop()
+        server.server_close()
+
+    histogram = Histogram(CLIENT_BUCKETS)
+    for worker_latencies in latencies:
+        for value in worker_latencies:
+            histogram.observe(value)
+    completed = histogram.count
+    return {
+        "requests": completed,
+        "concurrency": concurrency,
+        "corpus_size": corpus_size,
+        "errors": sum(errors),
+        "shed_total": shed_total,
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(completed / max(wall, 1e-9), 2),
+        "mean_ms": round(histogram.mean * 1000.0, 3),
+        "p50_ms": round(histogram.quantile(0.5) * 1000.0, 3),
+        "p99_ms": round(histogram.quantile(0.99) * 1000.0, 3),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-benchmark the serve daemon"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (fewer requests, small corpus)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="total requests (default: 48 quick / 200 full)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="client threads (default: 4 quick / 8 full)")
+    parser.add_argument("--out", default=str(BENCH_PATH),
+                        help=f"headline record path (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+    if args.quick:
+        requests = args.requests or 48
+        concurrency = args.concurrency or 4
+        corpus_size = 24
+    else:
+        requests = args.requests or 200
+        concurrency = args.concurrency or 8
+        corpus_size = 40
+    payload = run_load(
+        requests=requests, concurrency=concurrency, corpus_size=corpus_size
+    )
+    path = record_headline("serve_load", payload, path=args.out)
+    print(f"wrote {path}")
+    print(json.dumps({"serve_load": payload}, indent=1))
+    return payload["errors"] and 1 or 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -544,6 +544,65 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP detection service (see docs/serving.md)."""
+    import signal
+    import threading
+
+    from repro.core.persistence import SnapshotCorruptError
+    from repro.serve.server import DetectionServer, ServeConfig
+
+    customization = None
+    if getattr(args, "customize", None):
+        customization = Path(args.customize).read_text()
+    encore_config = EnCoreConfig(
+        customization_text=customization,
+        error_policy=getattr(args, "error_policy", "quarantine"),
+        max_error_rate=getattr(args, "max_error_rate", 0.10),
+    )
+    try:
+        config = ServeConfig(
+            snapshot=args.snapshot,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            queue_timeout_s=args.queue_timeout,
+            batch_workers=_workers(args),
+            batch_chunk_size=_chunk_size(args),
+            reload_poll_s=args.reload,
+            ledger_path=getattr(args, "ledger", None),
+            no_ledger=getattr(args, "no_ledger", False),
+            record_requests=not args.no_request_ledger,
+            encore=encore_config,
+        )
+        server = DetectionServer(config)
+    except SnapshotCorruptError:
+        raise  # main() turns this into a clean exit-1 message
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    def _shutdown(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever() exits, so it must not
+        # run on the serving thread the signal interrupted.
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(
+            signal.SIGHUP, lambda signum, frame: server.request_reload()
+        )
+    server.start_watcher()
+    print(f"serving on http://{config.host}:{server.server_port} "
+          f"(snapshot {args.snapshot}; SIGHUP reloads, SIGTERM stops)")
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+    return 0
+
+
 def cmd_quarantine(args: argparse.Namespace) -> int:
     """List images the error policy dropped in past runs."""
     from repro.core.resilience import (
@@ -754,6 +813,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--last", type=int, default=10, metavar="N",
                    help="records to list with 'show' (default: 10)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "serve", help="run the HTTP detection service over a model snapshot"
+    )
+    _add_obs_options(p)
+    p.add_argument("--snapshot", required=True,
+                   help="model snapshot to serve (from 'train --model')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (0 picks a free port; default: 8080)")
+    p.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                   help="concurrent model-serving requests before queueing "
+                        "(default: 8)")
+    p.add_argument("--max-queue", type=int, default=16, metavar="N",
+                   help="requests allowed to wait for a slot; beyond this "
+                        "they are shed with 429 (default: 16)")
+    p.add_argument("--queue-timeout", type=float, default=5.0, metavar="S",
+                   help="seconds a queued request waits before being shed "
+                        "(default: 5)")
+    p.add_argument("--reload", type=float, nargs="?", const=2.0,
+                   default=None, metavar="SECONDS",
+                   help="poll the snapshot file's mtime and hot-reload on "
+                        "change (default interval: 2s); SIGHUP always "
+                        "triggers a reload, with or without polling")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="worker processes for batch /v1/check requests "
+                        "(default: 1 = in-process)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="M",
+                   help="images per worker shard on batch requests")
+    p.add_argument("--customize", help="Figure 6 customization file to "
+                                       "apply before loading the snapshot")
+    p.add_argument("--error-policy",
+                   choices=["strict", "quarantine", "skip"],
+                   default="quarantine",
+                   help="per-image failure handling on batch requests")
+    p.add_argument("--max-error-rate", type=float, default=0.10, metavar="R")
+    p.add_argument("--no-request-ledger", action="store_true",
+                   help="suppress per-request ledger entries (start and "
+                        "reload events are still recorded)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "quarantine", help="list images dropped by the error policy"

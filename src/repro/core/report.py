@@ -13,6 +13,28 @@ from typing import Dict, List, Optional
 from repro.core.detector import Warning, WarningKind
 
 
+def warning_to_dict(warning: Warning, rank: int) -> Dict[str, object]:
+    """One warning's JSON surface, shared by reports and the serve API.
+
+    Both ``repro check --json`` and ``POST /v1/check`` emit warnings
+    through this function, which is what makes the HTTP response's
+    report byte-identical to the CLI's for the same image and model.
+    """
+    return {
+        "rank": rank,
+        "kind": warning.kind.value,
+        "attribute": warning.attribute,
+        "message": warning.message,
+        "score": round(warning.score, 4),
+        "value": warning.value,
+        "evidence": warning.evidence,
+        "rule": warning.rule.to_dict() if warning.rule else None,
+        "explanation": (
+            warning.explanation.to_dict() if warning.explanation else None
+        ),
+    }
+
+
 @dataclass
 class Report:
     """Ranked detection results for one target system."""
@@ -110,21 +132,7 @@ class Report:
             "image_id": self.image_id,
             "warning_count": len(self.warnings),
             "warnings": [
-                {
-                    "rank": rank,
-                    "kind": warning.kind.value,
-                    "attribute": warning.attribute,
-                    "message": warning.message,
-                    "score": round(warning.score, 4),
-                    "value": warning.value,
-                    "evidence": warning.evidence,
-                    "rule": warning.rule.to_dict() if warning.rule else None,
-                    "explanation": (
-                        warning.explanation.to_dict()
-                        if warning.explanation
-                        else None
-                    ),
-                }
+                warning_to_dict(warning, rank)
                 for rank, warning in enumerate(self.warnings, start=1)
             ],
         }

@@ -52,6 +52,7 @@ from repro.obs.metrics import (
     merge_snapshot,
     reset_registry,
     set_registry,
+    use_registry,
 )
 from repro.obs.profile import (
     StageProfile,
@@ -63,7 +64,14 @@ from repro.obs.profile import (
     render_profile,
     set_profiler,
 )
-from repro.obs.tracing import Span, Tracer, get_tracer, set_tracer, span
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
 
 __all__ = [
     "Counter",
@@ -99,4 +107,6 @@ __all__ = [
     "set_registry",
     "set_tracer",
     "span",
+    "use_registry",
+    "use_tracer",
 ]

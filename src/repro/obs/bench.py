@@ -167,12 +167,16 @@ class GateMetric:
 
 
 #: What the gate watches by default: end-to-end timings regress upward,
-#: the headline detection ratio regresses downward.
+#: the headline detection ratio regresses downward, and the serve
+#: daemon's load numbers (``benchmarks/bench_serve.py``) regress when
+#: throughput drops or tail latency grows.
 DEFAULT_GATE_METRICS: Sequence[GateMetric] = (
     GateMetric("parallel_train", "serial_total_seconds", lower_is_better=True),
     GateMetric("parallel_train", "sharded_total_seconds", lower_is_better=True),
     GateMetric("parallel_train", "serial_assemble_seconds", lower_is_better=True),
     GateMetric("headline_detection", "ratio_min", lower_is_better=False),
+    GateMetric("serve_load", "requests_per_second", lower_is_better=False),
+    GateMetric("serve_load", "p99_ms", lower_is_better=True),
 )
 
 

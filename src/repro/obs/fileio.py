@@ -13,8 +13,24 @@ only ever see the old file or the complete new one.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
+
+#: One lock per append target, so in-process concurrent appenders (the
+#: serve daemon's request threads writing ledger entries) serialise
+#: fully instead of relying on the kernel's single-write atomicity.
+_append_locks: Dict[str, threading.Lock] = {}
+_append_locks_guard = threading.Lock()
+
+
+def _append_lock(path: Path) -> threading.Lock:
+    key = str(path.resolve())
+    with _append_locks_guard:
+        lock = _append_locks.get(key)
+        if lock is None:
+            lock = _append_locks[key] = threading.Lock()
+        return lock
 
 
 def ensure_parent(path: Union[str, Path]) -> Path:
@@ -50,12 +66,19 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
 def append_line(path: Union[str, Path], line: str) -> Path:
     """Append one newline-terminated line to *path*, creating parents.
 
-    A single ``write`` of one line on a file opened in append mode is
-    the JSONL-ledger write primitive: O_APPEND makes concurrent
-    appenders interleave at line granularity rather than corrupt each
-    other.
+    Two layers of safety, for two kinds of concurrency:
+
+    * **across processes**, a single ``write`` of one line on a file
+      opened in append mode (O_APPEND) interleaves at line granularity
+      rather than corrupting;
+    * **across threads of one process** — the serve daemon's request
+      handlers all appending ledger entries — a per-path lock serialises
+      the whole open+write, so buffered writes can never flush a partial
+      line between two threads' appends.
     """
     path = ensure_parent(path)
-    with open(path, "a") as handle:
-        handle.write(line.rstrip("\n") + "\n")
+    text = line.rstrip("\n") + "\n"
+    with _append_lock(path):
+        with open(path, "a") as handle:
+            handle.write(text)
     return path

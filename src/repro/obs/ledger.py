@@ -71,6 +71,11 @@ class LedgerEntry:
     #: shard counts, peak RSS).  Run metadata like timings: resource
     #: consumption varies per invocation and never enters :meth:`core`.
     profile: Dict[str, object] = field(default_factory=dict)
+    #: Serve-daemon request context (request id, route, HTTP status) for
+    #: per-request entries, so an access-log line joins its ledger entry.
+    #: Run metadata: the same logical check diffs clean whether it came
+    #: through the CLI or over HTTP.
+    request: Dict[str, object] = field(default_factory=dict)
     run_id: str = ""
     timestamp: str = ""
 
@@ -114,6 +119,10 @@ class LedgerEntry:
             },
             "profile": {k: self.profile[k] for k in sorted(self.profile)},
         })
+        if self.request:
+            out["request"] = {
+                k: self.request[k] for k in sorted(self.request)
+            }
         return out
 
     @classmethod
@@ -142,6 +151,7 @@ class LedgerEntry:
                 str(k): int(v) for k, v in data.get("quarantine", {}).items()
             },
             profile=dict(data.get("profile", {})),
+            request=dict(data.get("request", {})),
             run_id=str(data.get("run_id", "")),
             timestamp=str(data.get("timestamp", "")),
         )
@@ -159,6 +169,8 @@ class LedgerEntry:
         )
         if self.quarantine.get("total"):
             line += f" quarantined={self.quarantine['total']}"
+        if self.request.get("request_id"):
+            line += f" req={self.request['request_id']}"
         return line
 
 

@@ -27,7 +27,8 @@ import json
 import re
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 #: Canonical label storage: a sorted tuple of (key, value) string pairs.
 LabelSet = Tuple[Tuple[str, str], ...]
@@ -145,6 +146,40 @@ class Histogram:
             running += n
             out.append(running)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile by linear interpolation over buckets.
+
+        The same estimator ``histogram_quantile`` applies to a scraped
+        Prometheus histogram: find the bucket holding the target rank
+        ``q * count`` and interpolate linearly between its bounds (the
+        first bucket interpolates up from 0).  Observations landing in
+        the overflow (+Inf) bucket clamp to the highest finite bound —
+        the honest answer a fixed-bucket histogram can give.
+
+        This is the one quantile implementation in the codebase: the
+        serve SLO summary (``/statusz``), the ``repro profile`` shard
+        table and ``bench_serve`` all report p50/p99 through it, so a
+        quoted percentile means the same thing everywhere.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0 or not self.buckets:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, n in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += n
+            if n == 0 or cumulative < target:
+                continue
+            if index >= len(self.buckets):  # overflow bucket
+                return float(self.buckets[-1])
+            upper = float(self.buckets[index])
+            lower = float(self.buckets[index - 1]) if index else 0.0
+            fraction = (target - previous) / n
+            return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+        return float(self.buckets[-1])
 
     def to_dict(self) -> dict:
         return {
@@ -339,9 +374,20 @@ class MetricsRegistry:
 
 _default_registry = MetricsRegistry()
 
+#: Per-thread registry override stack (see :func:`use_registry`).
+_thread_override = threading.local()
+
 
 def get_registry() -> MetricsRegistry:
-    """The registry all built-in instrumentation records into."""
+    """The registry all built-in instrumentation records into.
+
+    A thread holding a :func:`use_registry` override gets its own
+    registry; every other thread (and the override-free common case)
+    gets the process-local default.
+    """
+    override = getattr(_thread_override, "registry", None)
+    if override is not None:
+        return override
     return _default_registry
 
 
@@ -356,6 +402,27 @@ def reset_registry() -> MetricsRegistry:
     """Clear the process-local registry in place (returns it)."""
     _default_registry.reset()
     return _default_registry
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route this *thread*'s instrumentation into *registry*.
+
+    The request-scoped capture primitive of the serve daemon: each
+    request thread records pipeline metrics (stage timings, detector
+    counters, its own latency histogram) into a private registry, then
+    folds it into the shared process registry under one lock — so
+    concurrent requests never race on unsynchronised counter writes.
+    Overrides nest; the previous override (or the process default) is
+    restored on exit.  Worker *processes* keep using
+    :func:`set_registry`, which swaps the process-wide default.
+    """
+    previous = getattr(_thread_override, "registry", None)
+    _thread_override.registry = registry
+    try:
+        yield registry
+    finally:
+        _thread_override.registry = previous
 
 
 def merge_snapshot(data: Mapping) -> MetricsRegistry:

@@ -426,13 +426,21 @@ def chrome_trace(doc: Mapping) -> dict:
 # -- text rendering ------------------------------------------------------------
 
 
-def _median(values: List[float]) -> float:
-    ordered = sorted(values)
-    n = len(ordered)
-    if not n:
-        return 0.0
-    mid = n // 2
-    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+def _wall_quantiles(walls: List[float]) -> "tuple":
+    """(p50, p99) of shard wall times via the canonical estimator.
+
+    Builds a histogram whose bucket bounds are the observed values and
+    asks :meth:`repro.obs.metrics.Histogram.quantile` — the same
+    interpolation the serve SLO summary and ``bench_serve`` report, so
+    every percentile this codebase prints comes from one implementation.
+    """
+    from repro.obs.metrics import Histogram
+
+    bounds = sorted(set(walls))
+    histogram = Histogram(bounds)
+    for wall in walls:
+        histogram.observe(wall)
+    return histogram.quantile(0.5), histogram.quantile(0.99)
 
 
 def _mb(value: object) -> str:
@@ -485,11 +493,12 @@ def render_profile(doc: Mapping, top: int = 10) -> str:
             walls = [float(s.get("wall_s", 0.0)) for s in by_stage[stage]]
             cpu_total = sum(float(s.get("cpu_s", 0.0)) for s in by_stage[stage])
             items = sum(int(s.get("items", 0)) for s in by_stage[stage])
-            median = _median(walls)
-            skew = (max(walls) / median) if median > 0 else 0.0
+            p50, p99 = _wall_quantiles(walls)
+            skew = (max(walls) / p50) if p50 > 0 else 0.0
             out.append(
                 f"  {stage}: {len(walls)} shard(s), {items} item(s)  "
-                f"wall min/med/max {min(walls):.3f}/{median:.3f}/{max(walls):.3f}s  "
+                f"wall min/p50/p99/max "
+                f"{min(walls):.3f}/{p50:.3f}/{p99:.3f}/{max(walls):.3f}s  "
                 f"skew {skew:.2f}x  cpu {cpu_total:.3f}s"
             )
         out.append("")

@@ -133,8 +133,19 @@ class Tracer:
 
 _active_tracer: Optional[Tracer] = None
 
+#: Per-thread tracer override (see :func:`use_tracer`).
+_thread_override = threading.local()
+
 
 def get_tracer() -> Optional[Tracer]:
+    """The tracer :func:`span` records into for the calling thread.
+
+    A thread inside a :func:`use_tracer` block gets its request-scoped
+    tracer; otherwise the process-local tracer (or ``None``) applies.
+    """
+    override = getattr(_thread_override, "tracer", None)
+    if override is not None:
+        return override
     return _active_tracer
 
 
@@ -143,6 +154,23 @@ def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
     global _active_tracer
     _active_tracer = tracer
     return tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Collect this *thread*'s spans into *tracer*.
+
+    The serve daemon opens one per-request tracer so every request gets
+    its own span tree (root ``serve.<route>``, children the pipeline
+    stages it ran) without cross-request interleaving in a shared
+    process tracer.  Overrides nest and restore on exit.
+    """
+    previous = getattr(_thread_override, "tracer", None)
+    _thread_override.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _thread_override.tracer = previous
 
 
 @contextmanager
@@ -160,7 +188,7 @@ def span(name: str, **attributes: object) -> Iterator[Span]:
     sampled alongside the wall clock; a raising body still closes the
     span, annotated with ``error=<exception type>``.
     """
-    tracer = _active_tracer
+    tracer = get_tracer()
     if tracer is not None:
         clock = tracer.clock
         opened = tracer.open_span(name, dict(attributes))

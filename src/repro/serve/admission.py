@@ -1,0 +1,118 @@
+"""Admission control for the serve daemon: bounded concurrency + queue.
+
+Overload must degrade *observably*, never opaquely: when every worker
+slot is busy and the wait queue is full (or a queued request waits past
+its timeout), the request is **shed** with HTTP 429 and a
+``serve.shed.total`` increment — the caller gets an immediate, honest
+answer and the operator gets a counter to alert on, instead of a
+latency cliff as unbounded threads pile onto the checker.
+
+The controller is a condition-variable guarded pair of counters:
+
+* ``inflight`` — requests currently holding one of ``max_inflight``
+  execution slots;
+* ``queued``  — requests waiting (bounded by ``max_queue``) for a slot,
+  each for at most ``queue_timeout_s`` seconds.
+
+Both are exported live on ``/statusz`` and as ``serve.inflight`` /
+``serve.queue.depth`` gauges at scrape time, so the degradation modes
+themselves are scrapeable.  The clock is injectable for deterministic
+timeout tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+
+class AdmissionController:
+    """Bounded in-flight slots with a bounded, time-limited wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        queue_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout_s < 0:
+            raise ValueError("queue_timeout_s must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout_s = queue_timeout_s
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        self._shed = 0
+
+    # -- live state (statusz / gauges) -----------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._queued
+
+    @property
+    def shed_total(self) -> int:
+        with self._cond:
+            return self._shed
+
+    # -- slot lifecycle --------------------------------------------------------
+
+    def try_acquire(self) -> bool:
+        """Take an execution slot, waiting in the queue if one is free.
+
+        Returns ``False`` — shed this request — when the queue is full
+        or no slot opened within ``queue_timeout_s``.
+        """
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                return True
+            if self._queued >= self.max_queue:
+                self._shed += 1
+                return False
+            self._queued += 1
+            deadline = self.clock() + self.queue_timeout_s
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - self.clock()
+                    if remaining <= 0:
+                        self._shed += 1
+                        return False
+                    self._cond.wait(remaining)
+                self._inflight += 1
+                return True
+            finally:
+                self._queued -= 1
+
+    def release(self) -> None:
+        """Return an execution slot; wakes one queued waiter."""
+        with self._cond:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching acquire")
+            self._inflight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def slot(self) -> Iterator[bool]:
+        """``with admission.slot() as admitted:`` — releases only if taken."""
+        admitted = self.try_acquire()
+        try:
+            yield admitted
+        finally:
+            if admitted:
+                self.release()

@@ -1,0 +1,96 @@
+"""Hot model reload: swap the served snapshot without dropping traffic.
+
+A long-running detection service outlives its model: fleets retrain on
+fresh corpora and publish a new snapshot file, and the daemon must pick
+it up without a restart.  Two triggers feed one reload path:
+
+* **SIGHUP** — the operator (or a deploy hook) signals the process;
+* **mtime polling** — with ``--reload`` the watcher thread polls the
+  snapshot file's mtime every ``poll_interval_s`` seconds.
+
+Both set an event consumed by the :class:`SnapshotWatcher` thread, which
+calls the server's ``reload()`` — never the signal handler directly, so
+no locks are taken in signal context.  Reloads are *observable
+transitions*: each one increments ``serve.reload.total`` (label
+``outcome=ok|failed``), appends a ``serve.reload`` entry to the run
+ledger recording the new rule-set digest, and updates the snapshot
+block of ``/statusz``.  A reload that fails (corrupt or missing file)
+keeps serving the previous model — ``/readyz`` stays green, the failure
+is a counter and a ledger-visible log line, not an outage.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.obs import get_logger
+
+log = get_logger("serve.reload")
+
+
+def snapshot_mtime(path: Path) -> Optional[float]:
+    """The snapshot file's mtime, ``None`` when it is (transiently) gone.
+
+    Publishers replace snapshots atomically (write + rename), but the
+    watcher may still poll between unlink and rename on non-atomic
+    copies; a missing file is "no change yet", never a reload trigger.
+    """
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return None
+
+
+class SnapshotWatcher(threading.Thread):
+    """Daemon thread that turns reload triggers into ``server.reload()``.
+
+    *server* needs three things: a ``config.snapshot`` path, a
+    ``reload()`` method, and this watcher's :attr:`trigger` event (the
+    SIGHUP handler sets it).  With *poll_interval_s* ``None`` the thread
+    only reacts to explicit triggers.
+    """
+
+    def __init__(self, server, poll_interval_s: Optional[float] = None) -> None:
+        super().__init__(name="repro-serve-reload", daemon=True)
+        self.server = server
+        self.poll_interval_s = poll_interval_s
+        self.trigger = threading.Event()
+        self._stop = threading.Event()
+        self._last_mtime = snapshot_mtime(Path(server.config.snapshot))
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.trigger.set()  # wake the wait immediately
+
+    def request_reload(self) -> None:
+        """Ask for a reload at the next watcher wakeup (signal-safe)."""
+        self.trigger.set()
+
+    def run(self) -> None:  # pragma: no cover - exercised via integration
+        wait = self.poll_interval_s if self.poll_interval_s else 0.5
+        while not self._stop.is_set():
+            triggered = self.trigger.wait(timeout=wait)
+            if self._stop.is_set():
+                return
+            if triggered:
+                self.trigger.clear()
+                self._reload("signal")
+                continue
+            if self.poll_interval_s is None:
+                continue
+            mtime = snapshot_mtime(Path(self.server.config.snapshot))
+            if mtime is not None and mtime != self._last_mtime:
+                self._last_mtime = mtime
+                self._reload("mtime")
+
+    def _reload(self, trigger: str) -> None:
+        try:
+            self.server.reload(trigger=trigger)
+        except Exception as exc:  # never kill the watcher thread
+            log.error("reload.watcher_error", trigger=trigger,
+                      error=type(exc).__name__, detail=str(exc))
+        # Track the post-reload mtime so a signal-triggered reload does
+        # not immediately re-fire through the polling path.
+        self._last_mtime = snapshot_mtime(Path(self.server.config.snapshot))

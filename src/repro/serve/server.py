@@ -1,0 +1,493 @@
+"""The serve daemon: a threaded HTTP detection service over one model.
+
+``repro serve`` turns the batch pipeline into EnCore's intended end
+state — an always-on checker fleets query continuously — without
+forking any detection logic: the daemon loads a model snapshot once
+(the same file ``repro train --model`` writes and ``repro check
+--model`` reads) and serves concurrent check/explain/suggest traffic
+through a pool of snapshot-restored :class:`~repro.core.pipeline.EnCore`
+replicas.  One replica serves one request at a time, so the pipeline's
+single-threaded stages never see concurrent mutation; the pool is sized
+to the admission controller's ``max_inflight``, so an admitted request
+always gets a replica without waiting.
+
+Observability is request-scoped (see ``docs/serving.md``):
+
+* every request runs under a private metrics registry and tracer
+  (:func:`repro.obs.metrics.use_registry` /
+  :func:`repro.obs.tracing.use_tracer`) folded into the process
+  registry under one lock — pipeline counters stay exact under
+  concurrency and ``serve.request.latency`` histograms (route/status
+  labels) make p50/p99 SLOs scrapeable from ``/metrics``;
+* ``/statusz`` reports uptime, the snapshot digest, live
+  in-flight/queue depth and the SLO summary computed through
+  :meth:`~repro.obs.metrics.Histogram.quantile`;
+* per-request ledger entries join the same run ledger the CLI writes,
+  so an HTTP check and a CLI check of the same image diff clean.
+
+Degradation is explicit: admission control sheds with 429 (never a
+latency cliff), hot reload swaps models without dropping traffic, and a
+failed reload keeps the old model serving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from http.server import ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+from contextlib import contextmanager
+
+from repro.core.pipeline import EnCore, EnCoreConfig
+from repro.obs import get_logger
+from repro.obs.ledger import (
+    Ledger,
+    LedgerEntry,
+    default_ledger,
+    fingerprint_payload,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+log = get_logger("serve")
+
+#: Latency buckets tuned for request service times: sub-millisecond
+#: cache-warm checks up to multi-second batch requests.  Constant across
+#: request registries so per-request histograms always merge.
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: The model-serving POST routes (admission-controlled).
+POST_ROUTES: Tuple[str, ...] = ("/v1/check", "/v1/explain", "/v1/suggest")
+
+
+class ApiError(Exception):
+    """A client-visible request failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` needs to run the daemon."""
+
+    snapshot: Union[str, Path] = "model.json"
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_inflight: int = 8
+    max_queue: int = 16
+    queue_timeout_s: float = 5.0
+    #: Workers for batch ``/v1/check`` requests (``images`` list): > 1
+    #: fans the batch onto the existing BatchChecker process pool.
+    batch_workers: int = 1
+    batch_chunk_size: Optional[int] = None
+    #: Poll the snapshot file's mtime every N seconds (None = SIGHUP only).
+    reload_poll_s: Optional[float] = None
+    #: Run-ledger path (None = the default ``.encore/ledger.jsonl``).
+    ledger_path: Optional[Union[str, Path]] = None
+    #: Disable the ledger entirely (start/reload/request entries).
+    no_ledger: bool = False
+    #: Append one ledger entry per successful model-serving request.
+    record_requests: bool = True
+    #: Pipeline configuration for target assembly (defaults match the
+    #: CLI's defaults, which is what pins CLI/HTTP report identity).
+    encore: EnCoreConfig = field(default_factory=EnCoreConfig)
+
+
+class ModelPool:
+    """A bounded pool of snapshot-restored EnCore replicas.
+
+    Each admitted request leases one replica for its lifetime, so the
+    (single-threaded) assembler/detector state inside an
+    :class:`EnCore` is never shared between concurrent requests.
+    Replicas are built lazily up to *size* and reused across requests;
+    :meth:`swap` starts a new generation — leased replicas from the old
+    generation are discarded on release instead of being re-pooled, so
+    a reload drains the old model without interrupting in-flight work.
+    """
+
+    def __init__(self, config: EnCoreConfig, payload: Dict[str, object],
+                 size: int) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._config = config
+        self._cond = threading.Condition()
+        self._free: List[EnCore] = []
+        self._created = 0
+        self._generation = 0
+        self._payload: Dict[str, object] = {}
+        self.info: Dict[str, object] = {}
+        self.swap(payload)
+
+    def _build(self) -> EnCore:
+        encore = EnCore(replace(self._config))
+        encore.load_model_data(self._payload)
+        return encore
+
+    def swap(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """Install a new model payload (validates it by building once)."""
+        with self._cond:
+            candidate_config = replace(self._config)
+        probe = EnCore(candidate_config)
+        probe.load_model_data(payload)  # raises before anything is swapped
+        assert probe.model is not None
+        info = {
+            "ruleset_digest": probe.model.ruleset_digest(),
+            "dataset_fingerprint": probe.model.corpus_fingerprint(),
+            "rule_count": probe.model.rule_count,
+            "training_size": len(probe.model.dataset),
+        }
+        with self._cond:
+            self._payload = payload
+            self._generation += 1
+            self._free = [probe]
+            self._created = 1
+            self.info = info
+            self._cond.notify_all()
+        return info
+
+    @property
+    def generation(self) -> int:
+        with self._cond:
+            return self._generation
+
+    def acquire(self) -> Tuple[EnCore, int]:
+        with self._cond:
+            while True:
+                if self._free:
+                    return self._free.pop(), self._generation
+                if self._created < self.size:
+                    self._created += 1
+                    generation = self._generation
+                    break
+                self._cond.wait()
+        # Build outside the lock: replica construction is the expensive
+        # part and other threads should keep leasing meanwhile.
+        try:
+            return self._build(), generation
+        except BaseException:
+            with self._cond:
+                if generation == self._generation:
+                    self._created -= 1
+                    self._cond.notify()
+            raise
+
+    def release(self, encore: EnCore, generation: int) -> None:
+        with self._cond:
+            if generation == self._generation:
+                self._free.append(encore)
+            # A stale-generation replica is simply dropped; its slot
+            # belongs to the new generation's lazy builds.
+            self._cond.notify()
+
+    @contextmanager
+    def lease(self) -> Iterator[EnCore]:
+        encore, generation = self.acquire()
+        try:
+            yield encore
+        finally:
+            self.release(encore, generation)
+
+
+class DetectionServer(ThreadingHTTPServer):
+    """The daemon: HTTP front end + model pool + observability spine."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, config: ServeConfig) -> None:
+        from repro.serve.admission import AdmissionController
+        from repro.serve.handlers import ServeHandler
+        from repro.serve.reload import SnapshotWatcher
+
+        self.config = config
+        self.started_monotonic = time.monotonic()
+        self.started_epoch = time.time()
+        snapshot_path = Path(config.snapshot)
+        payload = self._read_snapshot(snapshot_path)
+        self.pool = ModelPool(config.encore, payload,
+                              size=config.max_inflight)
+        self.snapshot_loaded_at = time.time()
+        self.reloads = 0
+        self.reload_failures = 0
+        self.admission = AdmissionController(
+            max_inflight=config.max_inflight,
+            max_queue=config.max_queue,
+            queue_timeout_s=config.queue_timeout_s,
+        )
+        #: The process registry request registries fold into; every
+        #: touch (fold, scrape, SLO summary) happens under metrics_lock.
+        self.registry: MetricsRegistry = get_registry()
+        self.metrics_lock = threading.Lock()
+        self.ledger: Optional[Ledger] = (
+            None if config.no_ledger else default_ledger(config.ledger_path)
+        )
+        self.ledger_lock = threading.Lock()
+        self.config_fingerprint = fingerprint_payload(config.encore.to_dict())
+        self._preregister_metrics()
+        self.watcher = SnapshotWatcher(
+            self, poll_interval_s=config.reload_poll_s
+        )
+        super().__init__((config.host, config.port), ServeHandler)
+        self._record_ledger(
+            LedgerEntry(
+                command="serve.start",
+                config_fingerprint=self.config_fingerprint,
+                dataset_fingerprint=str(self.pool.info["dataset_fingerprint"]),
+                ruleset_digest=str(self.pool.info["ruleset_digest"]),
+                rule_count=int(self.pool.info["rule_count"]),
+                training_size=int(self.pool.info["training_size"]),
+                workers=config.max_inflight,
+            )
+        )
+        log.info("serve.started", host=config.host, port=self.server_port,
+                 snapshot=str(snapshot_path),
+                 ruleset=str(self.pool.info["ruleset_digest"])[:12],
+                 max_inflight=config.max_inflight)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @staticmethod
+    def _read_snapshot(path: Path) -> Dict[str, object]:
+        """The raw snapshot payload (validated by the pool's probe build)."""
+        from repro.core.persistence import SnapshotCorruptError
+
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise SnapshotCorruptError(path, "snapshot file not found")
+        except json.JSONDecodeError as exc:
+            raise SnapshotCorruptError(path, f"invalid JSON ({exc})")
+        if not isinstance(data, dict):
+            raise SnapshotCorruptError(
+                path, f"expected a JSON object, got {type(data).__name__}"
+            )
+        return data
+
+    def start_watcher(self) -> None:
+        """Start the reload watcher thread (idempotent)."""
+        if not self.watcher.is_alive():
+            self.watcher.start()
+
+    def stop(self) -> None:
+        """Shut down the listener and the watcher (callable off-thread)."""
+        self.watcher.stop()
+        self.shutdown()
+
+    def server_close(self) -> None:  # also reached via context-manager exit
+        self.watcher.stop()
+        super().server_close()
+        log.info("serve.stopped", uptime_s=round(self.uptime_s(), 3))
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    @property
+    def ready(self) -> bool:
+        """A model is loaded and serving (reloads never unset this)."""
+        return bool(self.pool.info)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _preregister_metrics(self) -> None:
+        """Create the serve metric families before any traffic arrives.
+
+        A scraper that lands on a fresh daemon must already see the shed
+        counter and one latency-histogram series per route — absence of
+        a series is indistinguishable from a broken exporter.
+        """
+        with self.metrics_lock:
+            self.registry.counter("serve.shed.total")
+            self.registry.counter("serve.reload.total", outcome="ok")
+            for route in POST_ROUTES:
+                self.registry.histogram(
+                    "serve.request.latency",
+                    buckets=SERVE_LATENCY_BUCKETS,
+                    route=route, status="200",
+                )
+
+    def fold_request_metrics(self, request_registry: MetricsRegistry) -> None:
+        """Merge one request's private registry into the process one."""
+        with self.metrics_lock:
+            self.registry.merge(request_registry)
+
+    def count_shed(self, route: str) -> None:
+        with self.metrics_lock:
+            self.registry.counter("serve.shed.total").inc()
+
+    def shed_total(self) -> float:
+        with self.metrics_lock:
+            return float(self.registry.total("serve.shed.total"))
+
+    def _set_live_gauges(self) -> None:
+        # Caller holds metrics_lock.
+        self.registry.gauge("serve.inflight").set(self.admission.inflight)
+        self.registry.gauge("serve.queue.depth").set(self.admission.queued)
+        self.registry.gauge("serve.uptime.seconds").set(
+            round(self.uptime_s(), 3)
+        )
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` exposition (live gauges refreshed first)."""
+        with self.metrics_lock:
+            self._set_live_gauges()
+            return self.registry.to_prometheus()
+
+    def slo_summary(self) -> Dict[str, Dict[str, object]]:
+        """Per-route p50/p99 from the request-latency histograms."""
+        out: Dict[str, Dict[str, object]] = {}
+        with self.metrics_lock:
+            series = self.registry.series("serve.request.latency")
+        folded: Dict[str, Histogram] = {}
+        for labelset, metric in sorted(series.items()):
+            if not isinstance(metric, Histogram):
+                continue
+            route = dict(labelset).get("route", "?")
+            mine = folded.get(route)
+            if mine is None:
+                mine = folded[route] = Histogram(metric.buckets)
+            mine.merge(metric)
+        for route in sorted(folded):
+            histogram = folded[route]
+            out[route] = {
+                "count": histogram.count,
+                "mean_ms": round(histogram.mean * 1000.0, 3),
+                "p50_ms": round(histogram.quantile(0.5) * 1000.0, 3),
+                "p99_ms": round(histogram.quantile(0.99) * 1000.0, 3),
+            }
+        return out
+
+    def statusz(self) -> Dict[str, object]:
+        """The incident-time dashboard (see docs/serving.md runbook)."""
+        with self.metrics_lock:
+            self._set_live_gauges()
+            requests_total = self.registry.total("serve.requests.total")
+            shed_total = self.registry.total("serve.shed.total")
+        return {
+            "uptime_s": round(self.uptime_s(), 3),
+            "started_at": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_epoch)
+            ),
+            "snapshot": {
+                "path": str(self.config.snapshot),
+                "ruleset_digest": self.pool.info.get("ruleset_digest", ""),
+                "dataset_fingerprint": self.pool.info.get(
+                    "dataset_fingerprint", ""
+                ),
+                "rule_count": self.pool.info.get("rule_count", 0),
+                "training_size": self.pool.info.get("training_size", 0),
+                "generation": self.pool.generation,
+                "reloads": self.reloads,
+                "reload_failures": self.reload_failures,
+            },
+            "admission": {
+                "inflight": self.admission.inflight,
+                "queue_depth": self.admission.queued,
+                "max_inflight": self.config.max_inflight,
+                "max_queue": self.config.max_queue,
+                "shed_total": int(shed_total),
+            },
+            "requests_total": int(requests_total),
+            "slo": self.slo_summary(),
+        }
+
+    # -- reload ----------------------------------------------------------------
+
+    def request_reload(self) -> None:
+        """Signal-safe reload trigger (the SIGHUP handler calls this)."""
+        self.watcher.request_reload()
+
+    def reload(self, trigger: str = "manual") -> bool:
+        """Swap in the snapshot file's current content; True on success."""
+        path = Path(self.config.snapshot)
+        try:
+            payload = self._read_snapshot(path)
+            info = self.pool.swap(payload)
+        except Exception as exc:
+            self.reload_failures += 1
+            with self.metrics_lock:
+                self.registry.counter(
+                    "serve.reload.total", outcome="failed"
+                ).inc()
+            log.error("serve.reload_failed", trigger=trigger,
+                      error=type(exc).__name__, detail=str(exc))
+            return False
+        self.reloads += 1
+        self.snapshot_loaded_at = time.time()
+        with self.metrics_lock:
+            self.registry.counter("serve.reload.total", outcome="ok").inc()
+        self._record_ledger(
+            LedgerEntry(
+                command="serve.reload",
+                config_fingerprint=self.config_fingerprint,
+                dataset_fingerprint=str(info["dataset_fingerprint"]),
+                ruleset_digest=str(info["ruleset_digest"]),
+                rule_count=int(info["rule_count"]),
+                training_size=int(info["training_size"]),
+                workers=self.config.max_inflight,
+                request={"trigger": trigger},
+            )
+        )
+        log.info("serve.reloaded", trigger=trigger,
+                 ruleset=str(info["ruleset_digest"])[:12],
+                 generation=self.pool.generation)
+        return True
+
+    # -- ledger ----------------------------------------------------------------
+
+    def _record_ledger(self, entry: LedgerEntry) -> Optional[LedgerEntry]:
+        if self.ledger is None:
+            return None
+        # append_line serialises per path, but the daemon still funnels
+        # every entry through one lock so entry construction + append is
+        # a single critical section (ordering matches the access log).
+        with self.ledger_lock:
+            return self.ledger.append(entry)
+
+    def record_request_entry(
+        self,
+        command: str,
+        request_id: str,
+        route: str,
+        status: int,
+        seconds: float,
+        targets_checked: int,
+        warning_counts: Dict[str, int],
+    ) -> None:
+        """One ledger entry per successful model-serving request."""
+        if self.ledger is None or not self.config.record_requests:
+            return
+        self._record_ledger(
+            LedgerEntry(
+                command=command,
+                config_fingerprint=self.config_fingerprint,
+                dataset_fingerprint=str(
+                    self.pool.info.get("dataset_fingerprint", "")
+                ),
+                ruleset_digest=str(self.pool.info.get("ruleset_digest", "")),
+                rule_count=int(self.pool.info.get("rule_count", 0)),
+                training_size=int(self.pool.info.get("training_size", 0)),
+                targets_checked=targets_checked,
+                warning_counts=dict(warning_counts),
+                timing={"request_seconds": round(seconds, 6)},
+                workers=1,
+                request={
+                    "request_id": request_id,
+                    "route": route,
+                    "status": status,
+                },
+            )
+        )
+
+
+def new_request_id() -> str:
+    """A fresh trace id for requests that did not bring their own."""
+    return uuid.uuid4().hex[:16]

@@ -154,6 +154,39 @@ class TestSerialization:
         assert 'c_total{path="we\\"ird\\\\app\\nline"} 1' in text
         assert "\nline" not in text.replace("\\nline", "")  # no raw newline
 
+    def test_prometheus_exposition_golden(self):
+        """Byte-exact conformance pin for the text exposition format.
+
+        The golden file freezes everything a scraper depends on: exactly
+        one ``# TYPE`` line per family, label-value escaping, cumulative
+        ``_bucket`` series ending in ``le="+Inf"``, ``_sum``/``_count``
+        suffixes, and deterministic name/labelset ordering.  If this
+        test fails, either fix the regression or consciously re-bless
+        the golden — scrape configs parse this text.
+        """
+        from pathlib import Path
+
+        registry = MetricsRegistry()
+        registry.counter("serve.requests.total",
+                         route="/v1/check", status="200").inc(3)
+        registry.counter("serve.requests.total",
+                         route="/v1/explain", status="400").inc(1)
+        registry.counter("parse.errors.total",
+                         path='C:\\conf "main"\nnext').inc(2)
+        registry.gauge("serve.inflight").set(4)
+        latency = registry.histogram(
+            "serve.request.latency", buckets=(0.25, 0.5, 2.0),
+            route="/v1/check", status="200",
+        )
+        for value in (0.125, 0.375, 1.0, 4.0):
+            latency.observe(value)
+        seconds = registry.histogram("check.seconds", buckets=(0.5, 1.0))
+        seconds.observe(0.25)
+        seconds.observe(0.75)
+        golden = (Path(__file__).parent / "data"
+                  / "prometheus_exposition.golden").read_text()
+        assert registry.to_prometheus() == golden
+
 
 class TestTracing:
     def test_span_nesting_with_fake_clock(self):

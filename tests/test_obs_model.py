@@ -358,6 +358,44 @@ class TestLedger:
                 != fingerprint_payload({"a": 2}))
 
 
+class TestLedgerConcurrency:
+    def test_concurrent_appends_never_interleave(self, tmp_path):
+        """The serve-daemon regression: many threads, one ledger file.
+
+        Every line must parse and every entry must survive — a torn or
+        interleaved write would either drop an entry (skipped as a
+        truncated line) or corrupt a neighbour's.
+        """
+        import threading
+
+        ledger = Ledger(tmp_path / "ledger.jsonl")
+        writers, per_writer = 8, 25
+
+        def write(worker: int) -> None:
+            for i in range(per_writer):
+                ledger.append(_entry(
+                    command="check",
+                    targets_checked=worker * per_writer + i,
+                ))
+
+        threads = [threading.Thread(target=write, args=(w,))
+                   for w in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        raw_lines = [line for line in
+                     (tmp_path / "ledger.jsonl").read_text().splitlines()
+                     if line.strip()]
+        assert len(raw_lines) == writers * per_writer
+        for line in raw_lines:
+            json.loads(line)  # every line is complete JSON
+        entries = ledger.entries()
+        assert len(entries) == writers * per_writer
+        assert (sorted(e.targets_checked for e in entries)
+                == list(range(writers * per_writer)))
+
+
 class TestLedgerCli:
     @pytest.fixture()
     def corpus_dir(self, tmp_path):
