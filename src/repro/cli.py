@@ -86,7 +86,23 @@ def _build_encore(args: argparse.Namespace) -> EnCore:
         error_policy=getattr(args, "error_policy", "quarantine"),
         max_error_rate=getattr(args, "max_error_rate", 0.10),
     )
-    return EnCore(config)
+    encore = EnCore(config)
+    _attach_cache(args, encore)
+    return encore
+
+
+def _attach_cache(args: argparse.Namespace, encore: EnCore) -> None:
+    """Attach the content-addressed result cache when ``--cache`` is on.
+
+    Off by default: caching is opt-in per invocation, and ``--no-cache``
+    wins over ``--cache`` so wrapper scripts can force a cold run.
+    """
+    if getattr(args, "no_cache", False) or not getattr(args, "cache", None):
+        return
+    from repro.engine.cache import ResultCache
+
+    encore.set_cache(ResultCache(Path(args.cache)))
+    log.info("cache.attached", dir=str(args.cache))
 
 
 def _workers(args: argparse.Namespace) -> int:
@@ -146,6 +162,14 @@ def _record_ledger(
                 + [int(s.get("max_rss_bytes", 0)) for s in profiler.shards]
             ),
         }
+    totals = metric_totals(get_registry())
+    cache_meta: Dict[str, object] = {}
+    if getattr(encore, "cache", None) is not None:
+        cache_meta = {
+            "dir": str(getattr(encore.cache, "root", "") or ""),
+            "hits": int(totals.get("cache.hit.total", 0)),
+            "misses": int(totals.get("cache.miss.total", 0)),
+        }
     entry = LedgerEntry(
         command=command,
         config_fingerprint=fingerprint_payload(encore.worker_config().to_dict()),
@@ -157,10 +181,11 @@ def _record_ledger(
         warning_counts=dict(warning_counts or {}),
         drift=drift,
         timing=timing,
-        metrics=metric_totals(get_registry()),
+        metrics=totals,
         workers=_workers(args),
         quarantine=quarantine_meta,
         profile=profile_meta,
+        cache=cache_meta,
     )
     ledger = default_ledger(getattr(args, "ledger", None))
     ledger.append(entry)
@@ -574,6 +599,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ledger_path=getattr(args, "ledger", None),
             no_ledger=getattr(args, "no_ledger", False),
             record_requests=not args.no_request_ledger,
+            cache_dir=(
+                None if getattr(args, "no_cache", False)
+                else getattr(args, "cache", None)
+            ),
             encore=encore_config,
         )
         server = DetectionServer(config)
@@ -690,6 +719,21 @@ def _add_model_options(parser: argparse.ArgumentParser) -> None:
                         help="abort when more than this fraction of the "
                              "corpus is dropped (default: 0.10; ignored "
                              "under --error-policy strict)")
+    _add_cache_options(parser)
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+
+    parser.add_argument("--cache", metavar="DIR", nargs="?",
+                        const=DEFAULT_CACHE_DIR, default=None,
+                        help="content-addressed result cache: unchanged "
+                             "(config, image) pairs skip parse → type → "
+                             "augment on re-runs; results are identical "
+                             "either way (default dir: "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="force a cold run even when --cache is given")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -852,6 +896,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-request-ledger", action="store_true",
                    help="suppress per-request ledger entries (start and "
                         "reload events are still recorded)")
+    _add_cache_options(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -73,11 +73,36 @@ class DataAssembler:
         #: records can name the failing stage and source file.
         self._stage = ""
         self._source = ""
+        #: Optional content-addressed result cache
+        #: (:class:`~repro.engine.cache.ResultCache`); ``cache_salt`` is
+        #: the config-digest half of every key, and ``cache_store_only``
+        #: skips lookups (worker shards whose coordinator already
+        #: resolved the hits) while still filling the cache.
+        self.cache = None
+        self.cache_salt = ""
+        self.cache_store_only = False
 
     # -- single system ----------------------------------------------------------
 
     def assemble(self, image: SystemImage) -> AssembledSystem:
-        """Assemble one image into a typed, augmented attribute row."""
+        """Assemble one image into a typed, augmented attribute row.
+
+        With a :attr:`cache` attached, an unchanged (config, image) pair
+        returns the cached row and skips parse → type → augment
+        entirely; the per-system counters are replayed so cached runs
+        report the same ``assemble.*`` totals as cold ones.  Cached
+        rows are shared objects — safe, because assembled rows are
+        append-only and nothing mutates them after assembly.
+        """
+        key = None
+        if self.cache is not None:
+            key = self._cache_key(image)
+            if not self.cache_store_only:
+                hit = self.cache.lookup(key, image)
+                if hit is not None:
+                    system, parsed_entries = hit
+                    self._record_assembled(system, parsed_entries)
+                    return system
         system = AssembledSystem(
             image, environment_available=self.augment_environment
         )
@@ -93,6 +118,17 @@ class DataAssembler:
         if self.augment_environment:
             for name, attr in Augmenter.environment_attributes(image).items():
                 system.set(f"env:{name}", attr.value, attr.type, augmented=True)
+        if key is not None:
+            self.cache.store(key, system, parsed_entries)
+        self._record_assembled(system, parsed_entries)
+        return system
+
+    def _cache_key(self, image: SystemImage) -> str:
+        from repro.engine.cache import cache_key
+
+        return cache_key(self.cache_salt, image)
+
+    def _record_assembled(self, system: AssembledSystem, parsed_entries: int) -> None:
         # Occurrence accounting is the live Table 2: "Original" is what the
         # parsers produced, the rest came from environment integration.
         registry = get_registry()
@@ -101,6 +137,20 @@ class DataAssembler:
         registry.counter("assemble.attributes.augmented").inc(
             system.occurrence_count() - parsed_entries
         )
+
+    def cached_assembled(self, image: SystemImage) -> Optional[AssembledSystem]:
+        """A cache hit's row (counters replayed), or ``None`` on a miss.
+
+        The sharded coordinator's pre-pass: hits resolve here without
+        touching the pool; misses (``None``) are shipped to workers.
+        """
+        if self.cache is None or self.cache_store_only:
+            return None
+        hit = self.cache.lookup(self._cache_key(image), image)
+        if hit is None:
+            return None
+        system, parsed_entries = hit
+        self._record_assembled(system, parsed_entries)
         return system
 
     def assemble_raw(self, collection: RawCollection) -> AssembledSystem:

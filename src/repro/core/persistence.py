@@ -191,10 +191,35 @@ def summary_from_dict(data: Dict[str, object]) -> tuple:
     return snapshot.summary, snapshot.rules
 
 
-def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
-    """Write a model snapshot as JSON (atomically, creating parents)."""
-    from repro.obs.fileio import atomic_write_text
+def model_to_bytes(model: TrainedModel) -> bytes:
+    """Compact binary snapshot (:mod:`repro.engine.codec` framing).
 
+    The inter-process form of :func:`model_to_dict`: what batch-check
+    shards ship to workers and what ``.encb`` snapshot files contain.
+    """
+    from repro.engine import codec
+
+    return codec.encode(model_to_dict(model))
+
+
+def snapshot_from_bytes(data: bytes) -> ModelSnapshot:
+    """Inverse of :func:`model_to_bytes` (raises ``CodecError`` on damage)."""
+    from repro.engine import codec
+
+    return snapshot_from_dict(codec.decode(data))
+
+
+def save_model(model: TrainedModel, path: Union[str, Path]) -> Path:
+    """Write a model snapshot atomically, creating parents.
+
+    The format follows the suffix: ``.encb`` writes the compact binary
+    codec framing, anything else the historical JSON.  Both load back
+    through :func:`load_snapshot`, which sniffs the magic bytes.
+    """
+    from repro.obs.fileio import atomic_write_bytes, atomic_write_text
+
+    if str(path).endswith(".encb"):
+        return atomic_write_bytes(path, model_to_bytes(model))
     return atomic_write_text(path, json.dumps(model_to_dict(model)))
 
 
@@ -207,15 +232,27 @@ def load_model_snapshot(path: Union[str, Path]) -> tuple:
 def load_snapshot(path: Union[str, Path]) -> ModelSnapshot:
     """Full snapshot (including training provenance) from a saved file.
 
-    Raises :class:`SnapshotCorruptError` when the file is not valid JSON
-    or lacks required snapshot fields (truncated writes, manual edits);
-    an unsupported-version error propagates unchanged — the file is
+    The format is sniffed from the content — codec magic bytes mean the
+    compact binary framing, anything else the historical JSON — so
+    callers never need to know how a snapshot was written.  Raises
+    :class:`SnapshotCorruptError` when the file cannot be decoded or
+    lacks required snapshot fields (truncated writes, manual edits); an
+    unsupported-version error propagates unchanged — the file is
     intact, the reader is just too old or too new for it.
     """
-    try:
-        data = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise SnapshotCorruptError(path, f"invalid JSON ({exc})") from exc
+    from repro.engine import codec
+
+    raw = Path(path).read_bytes()
+    if codec.is_encoded(raw):
+        try:
+            data = codec.decode(raw)
+        except codec.CodecError as exc:
+            raise SnapshotCorruptError(path, f"invalid codec frame ({exc})") from exc
+    else:
+        try:
+            data = json.loads(raw.decode("utf-8", errors="replace"))
+        except json.JSONDecodeError as exc:
+            raise SnapshotCorruptError(path, f"invalid JSON ({exc})") from exc
     if not isinstance(data, dict):
         raise SnapshotCorruptError(
             path, f"expected a JSON object, got {type(data).__name__}"

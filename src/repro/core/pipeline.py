@@ -144,6 +144,15 @@ class EnCore:
 
     def __init__(self, config: Optional[EnCoreConfig] = None) -> None:
         self.config = config if config is not None else EnCoreConfig()
+        #: Optional content-addressed result cache shared with the
+        #: assembler and parallel stages (see :meth:`set_cache`).
+        self._cache = None
+        #: Hoisted codec payloads: the worker config and model snapshot
+        #: are each encoded once per pool lifetime, not once per shard
+        #: submission (``codec.{config,model}.encodes.total`` count the
+        #: actual encodes).
+        self._worker_payload_cache = None
+        self._model_payload_cache = None
         self._parsers: ParserRegistry = default_registry()
         self._type_registry: TypeRegistry = default_type_registry()
         self._augmenter = Augmenter()
@@ -182,6 +191,36 @@ class EnCore:
             error_policy=self.config.error_policy,
             max_error_rate=self.config.max_error_rate,
         )
+        self._wire_cache()
+
+    # -- result cache ------------------------------------------------------------
+
+    @property
+    def cache(self):
+        """The attached :class:`~repro.engine.cache.ResultCache` (or None)."""
+        return self._cache
+
+    def set_cache(self, cache) -> None:
+        """Attach (or detach, with ``None``) a content-addressed result cache.
+
+        Cache keys fold in the worker-config digest, so two instances
+        with different configs (or customizations) never share entries;
+        the cache root is deliberately *not* part of
+        :class:`EnCoreConfig` — enabling it must not change config
+        fingerprints or, therefore, learned results.
+        """
+        self._cache = cache
+        self._wire_cache()
+
+    def _wire_cache(self) -> None:
+        assembler = getattr(self, "assembler", None)
+        if assembler is None:
+            return
+        assembler.cache = self._cache
+        assembler.cache_salt = (
+            self.worker_payload()[1] if self._cache is not None else ""
+        )
+        assembler.cache_store_only = False
 
     @property
     def quarantine(self):
@@ -233,6 +272,46 @@ class EnCore:
         text = "\n".join(self._customization_texts) or None
         return replace(self.config, customization_text=text)
 
+    def worker_payload(self):
+        """Hoisted ``(codec bytes, digest)`` of :meth:`worker_config`.
+
+        Encoded once and reused across every shard submission, run and
+        serve request for as long as the configuration is unchanged; a
+        config mutation or new :meth:`customize` call is detected by
+        value and re-encodes.  ``codec.config.encodes.total`` counts the
+        actual encodes — the regression guard for this hoist.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        key = tuple(
+            getattr(self.config, f.name) for f in dataclass_fields(self.config)
+        ) + (tuple(self._customization_texts),)
+        cached = self._worker_payload_cache
+        if cached is None or cached[0] != key:
+            from repro.engine.sharding import encode_config_payload
+
+            data, digest = encode_config_payload(self.worker_config())
+            cached = self._worker_payload_cache = (key, data, digest)
+        return cached[1], cached[2]
+
+    def model_payload(self):
+        """Hoisted ``(codec bytes, digest)`` of the trained model snapshot.
+
+        Invalidated whenever the model changes (:meth:`train_on_dataset`,
+        :meth:`load_model`, :meth:`load_rules`); between changes, every
+        batch-check shard ships the same bytes object.
+        """
+        if self.model is None:
+            raise RuntimeError("model_payload() requires a trained model")
+        if self._model_payload_cache is None:
+            from repro.core.persistence import model_to_dict
+            from repro.engine.batch import encode_model_payload
+
+            self._model_payload_cache = encode_model_payload(
+                model_to_dict(self.model)
+            )
+        return self._model_payload_cache
+
     def _require_forkable(self, workers: int) -> None:
         if workers > 1 and self._programmatic_templates:
             raise ValueError(
@@ -249,6 +328,7 @@ class EnCore:
             workers=workers, chunk_size=chunk_size,
             retry=self.retry_policy, shard_timeout=self.shard_timeout,
             fault_plan=self.fault_plan,
+            config_payload=self.worker_payload(),
         )
 
     # -- training --------------------------------------------------------------------
@@ -347,6 +427,7 @@ class EnCore:
             templates=self._templates,
             telemetry={"infer_seconds": infer_span.duration},
         )
+        self._model_payload_cache = None
         self._detector = AnomalyDetector(
             dataset, result.rules,
             inferencer=self.assembler.inferencer,
@@ -402,13 +483,15 @@ class EnCore:
                     yield report
             return
         self._require_forkable(workers)
-        from repro.core.persistence import model_to_dict
         from repro.engine.batch import BatchChecker
 
         checker = BatchChecker(
-            self.worker_config(), model_to_dict(self.model),
+            self.worker_config(),
             workers=workers, chunk_size=chunk_size, drift=self.drift,
             quarantine=self.quarantine, fault_plan=self.fault_plan,
+            config_payload=self.worker_payload(),
+            model_bytes=self.model_payload(),
+            cache=self._cache, cache_salt=self.assembler.cache_salt,
         )
         yield from checker.stream(images)
 
@@ -486,6 +569,7 @@ class EnCore:
         self._install_snapshot(snapshot_from_dict(data))
 
     def _install_snapshot(self, snapshot) -> None:
+        self._model_payload_cache = None
         self.model = TrainedModel(
             dataset=snapshot.summary,  # duck-typed: the detector-facing surface
             rules=snapshot.rules,
@@ -523,6 +607,7 @@ class EnCore:
                 "use load_model() with a full snapshot"
             )
         rules = RuleSet.load(path)
+        self._model_payload_cache = None
         self.model = TrainedModel(
             dataset=self.model.dataset,
             rules=rules,

@@ -151,10 +151,17 @@ class QuarantineRecord:
 
 def classify_stage(exc: BaseException, default: str = "assemble") -> str:
     """The pipeline stage an assembly exception belongs to."""
+    # Imported lazily: codec has no repro dependencies, but importing it
+    # at module scope would couple core to the engine package's import
+    # order.
+    from repro.engine.codec import CodecError
+
     if isinstance(exc, FaultInjected):
         return "worker"
     if isinstance(exc, ConfigParseError):
         return "parse"
+    if isinstance(exc, CodecError):
+        return "codec"
     return default or "assemble"
 
 

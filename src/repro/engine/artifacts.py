@@ -10,11 +10,27 @@ disk, or shipped to another host and resumed there.
 
 JSON round-trips are lossless except for report warning scores, which
 :meth:`repro.core.report.Report.to_dict` rounds to 4 decimals (ranking
-is preserved).  In-process shard transfer uses pickle and is exact.
+is preserved).  Inter-process shard transfer uses the compact binary
+codec (:mod:`repro.engine.codec`) via :meth:`ShardResult.to_bytes` /
+:meth:`CheckResult.to_bytes` and is exact: warning scores travel at
+full float64 precision (the *wire* forms below, not the rounded JSON
+surface), so sharded checking is byte-identical to serial checking.
+
+Two size optimisations shape the wire forms.  Assembled rows shipped
+*back* from workers elide their backing image — the coordinator already
+holds the very :class:`~repro.sysmodel.image.SystemImage` objects it
+shipped out, so results carry only ``image_id`` and the coordinator
+re-attaches (:func:`assembled_system_from_dict` with ``image=``).
+Images shipped *out* to workers are encoded once per image and memoised
+on the image object (:func:`image_payload` / :func:`image_digest`), so
+repeat shipments — serve traffic, ``train_more``, warm re-checks — cost
+a dict lookup; the digest doubles as the content half of the result
+cache key (:mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -23,18 +39,52 @@ from repro.core.detector import Explanation, Warning, WarningKind
 from repro.core.report import Report
 from repro.core.rules import ConcreteRule
 from repro.core.types import ConfigType
+from repro.engine import codec
+from repro.engine.codec import CodecError
+from repro.sysmodel.image import SystemImage
 from repro.sysmodel.snapshot import image_from_dict, image_to_dict
+
+
+# -- image payloads ------------------------------------------------------------
+
+
+def image_payload(image: SystemImage) -> bytes:
+    """Codec-encoded snapshot of *image*, memoised on the image object.
+
+    Payload building and cache keying both need the encoded form; one
+    image shipped to N shards (or checked on every serve request) is
+    encoded exactly once per process.
+    """
+    cached = getattr(image, "_encore_payload", None)
+    if cached is None:
+        cached = codec.encode(image_to_dict(image))
+        image._encore_payload = cached
+    return cached
+
+
+def image_digest(image: SystemImage) -> str:
+    """SHA-256 of :func:`image_payload` — the image's content address."""
+    cached = getattr(image, "_encore_digest", None)
+    if cached is None:
+        cached = hashlib.sha256(image_payload(image)).hexdigest()
+        image._encore_digest = cached
+    return cached
 
 
 # -- assembled systems ---------------------------------------------------------
 
 
-def assembled_system_to_dict(system: AssembledSystem) -> Dict[str, Any]:
+def assembled_system_to_dict(
+    system: AssembledSystem, include_image: bool = True
+) -> Dict[str, Any]:
     """Serialise one assembled row, including its backing image.
 
     The image rides along because template validation methods consult the
     environment (ownership lookups, path existence) beyond the augmented
-    columns.
+    columns.  ``include_image=False`` elides it down to ``image_id`` for
+    hops whose receiver already holds the image (worker→coordinator
+    results, cache entries); such rows must be revived with
+    :func:`assembled_system_from_dict`'s ``image=`` argument.
     """
     attributes = []
     for attribute in system.attributes():
@@ -46,17 +96,34 @@ def assembled_system_to_dict(system: AssembledSystem) -> Dict[str, Any]:
                 for tv in system.values_of(attribute)
             ],
         })
-    return {
-        "image": image_to_dict(system.image),
+    out: Dict[str, Any] = {
         "environment_available": system.environment_available,
         "attributes": attributes,
     }
+    if include_image:
+        out["image"] = image_to_dict(system.image)
+    else:
+        out["image_id"] = system.image.image_id
+    return out
 
 
-def assembled_system_from_dict(data: Dict[str, Any]) -> AssembledSystem:
-    """Rebuild an assembled row from :func:`assembled_system_to_dict`."""
+def assembled_system_from_dict(
+    data: Dict[str, Any], image: Optional[SystemImage] = None
+) -> AssembledSystem:
+    """Rebuild an assembled row from :func:`assembled_system_to_dict`.
+
+    *image* re-attaches the backing image to an elided row; rows that
+    carry their own image ignore it.
+    """
+    if "image" in data:
+        image = image_from_dict(data["image"])
+    if image is None:
+        raise CodecError(
+            f"assembled row for {data.get('image_id')!r} carries no image "
+            "and none was supplied"
+        )
     system = AssembledSystem(
-        image_from_dict(data["image"]),
+        image,
         environment_available=data["environment_available"],
     )
     for entry in data["attributes"]:
@@ -71,19 +138,32 @@ def assembled_system_from_dict(data: Dict[str, Any]) -> AssembledSystem:
 # -- partial datasets ----------------------------------------------------------
 
 
-def partial_to_dict(partial: PartialDataset) -> Dict[str, Any]:
+def partial_to_dict(
+    partial: PartialDataset, include_images: bool = True
+) -> Dict[str, Any]:
     """Serialise a partial dataset as its system rows.
 
     The per-attribute counters are a pure function of the rows, so the
     wire format carries only the rows and the loader re-accumulates —
     there is no way for serialised statistics to drift from the data.
     """
-    return {"systems": [assembled_system_to_dict(s) for s in partial.systems]}
+    return {
+        "systems": [
+            assembled_system_to_dict(s, include_image=include_images)
+            for s in partial.systems
+        ]
+    }
 
 
-def partial_from_dict(data: Dict[str, Any]) -> PartialDataset:
+def partial_from_dict(
+    data: Dict[str, Any],
+    images_by_id: Optional[Dict[str, SystemImage]] = None,
+) -> PartialDataset:
+    """Rebuild a partial; *images_by_id* revives image-elided rows."""
+    images_by_id = images_by_id or {}
     return PartialDataset.from_systems(
-        assembled_system_from_dict(s) for s in data["systems"]
+        assembled_system_from_dict(s, image=images_by_id.get(s.get("image_id")))
+        for s in data["systems"]
     )
 
 
@@ -135,8 +215,68 @@ class ShardResult:
             profile=dict(data.get("profile", {})),
         )
 
+    def to_bytes(self) -> bytes:
+        """Compact binary wire form for the worker→coordinator hop.
+
+        Rows elide their backing images (the coordinator holds the
+        originals); everything else matches :meth:`to_dict`.
+        """
+        return codec.encode({
+            "partial": partial_to_dict(self.partial, include_images=False),
+            "metrics": self.metrics,
+            "shard_index": self.shard_index,
+            "quarantine": list(self.quarantine),
+            "dropped": self.dropped,
+            "profile": dict(self.profile),
+        })
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, images_by_id: Dict[str, SystemImage]
+    ) -> "ShardResult":
+        """Decode :meth:`to_bytes`, re-attaching the coordinator's images."""
+        decoded = codec.decode(data)
+        return cls(
+            partial=partial_from_dict(decoded["partial"], images_by_id),
+            metrics=dict(decoded.get("metrics", {})),
+            shard_index=int(decoded.get("shard_index", 0)),
+            quarantine=[dict(r) for r in decoded.get("quarantine", ())],
+            dropped=int(decoded.get("dropped", 0)),
+            profile=dict(decoded.get("profile", {})),
+        )
+
 
 # -- check results -------------------------------------------------------------
+
+
+def warning_to_wire(warning: Warning) -> Dict[str, Any]:
+    """Full-precision warning wire form (worker→coordinator hop).
+
+    Unlike :func:`repro.core.report.warning_to_dict` — the user-facing
+    JSON surface, which rounds scores to 4 decimals — the wire form
+    carries ``score`` as exact float64, so a report that crossed a
+    process boundary is indistinguishable from one produced in-process.
+    """
+    return {
+        "kind": warning.kind.value,
+        "attribute": warning.attribute,
+        "message": warning.message,
+        "score": warning.score,
+        "value": warning.value,
+        "evidence": warning.evidence,
+        "rule": warning.rule.to_dict() if warning.rule else None,
+        "explanation": (
+            warning.explanation.to_dict() if warning.explanation else None
+        ),
+    }
+
+
+def report_to_wire(report: Report) -> Dict[str, Any]:
+    """Full-precision report wire form; inverse is :func:`report_from_dict`."""
+    return {
+        "image_id": report.image_id,
+        "warnings": [warning_to_wire(w) for w in report.warnings],
+    }
 
 
 def warning_from_dict(data: Dict[str, Any]) -> Warning:
@@ -209,3 +349,19 @@ class CheckResult:
             dropped=int(data.get("dropped", 0)),
             profile=dict(data.get("profile", {})),
         )
+
+    def to_bytes(self) -> bytes:
+        """Compact binary wire form; scores stay full-precision float64."""
+        return codec.encode({
+            "reports": [report_to_wire(r) for r in self.reports],
+            "metrics": self.metrics,
+            "shard_index": self.shard_index,
+            "drift": self.drift,
+            "quarantine": list(self.quarantine),
+            "dropped": self.dropped,
+            "profile": dict(self.profile),
+        })
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CheckResult":
+        return cls.from_dict(codec.decode(data))

@@ -3,33 +3,58 @@
 Checking is per-target independent — "since the checking and the
 learning are cleanly separated, the learned rules can be reused to
 check different systems" (paper §3) — so a fleet of targets shards
-naturally.  Each worker receives the serialised model snapshot (the
-same JSON surface :mod:`repro.core.persistence` writes to disk) plus a
-chunk of target snapshots, rebuilds a detector, and returns a
-:class:`~repro.engine.artifacts.CheckResult`.
+naturally.  Each worker receives a codec-framed task carrying the
+hoisted config and model payloads (each encoded once per pool lifetime,
+cached per worker by digest — see :mod:`repro.engine.pool`) plus a
+chunk of individually-framed target snapshots, and returns a
+:class:`~repro.engine.artifacts.CheckResult` as compact codec bytes
+with full-precision warning scores, so sharded reports are exactly the
+serial ones.
+
+When a result cache is attached (:mod:`repro.engine.cache`), its disk
+handle rides along in the task and workers consult it per target —
+an unchanged image skips parse → type → augment entirely on re-check.
 
 Reports stream back in input order as shards finish, so early targets
 surface while later chunks are still being checked.  Failure handling
 mirrors assembly (see ``docs/robustness.md``): inside a worker the
-configured error policy quarantines unparseable targets instead of
-failing the shard, and if the process pool breaks mid-stream — a worker
-segfaulted or was OOM-killed — the coordinator finishes the failed
-shard and everything after it serially in-process, with a warning and a
-``batch.serial_fallback.total`` metric, rather than dropping reports.
+configured error policy quarantines unparseable targets (and targets
+whose payload fails to decode, stage ``codec``) instead of failing the
+shard, and if the process pool breaks mid-stream — a worker segfaulted
+or was OOM-killed — the coordinator poisons the warm pool (the next run
+respawns it) and finishes the failed shard and everything after it
+serially in-process, with a warning and a ``batch.serial_fallback.total``
+metric, rather than dropping reports.
 """
 
 from __future__ import annotations
 
 import math
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.report import Report
-from repro.engine.artifacts import CheckResult
-from repro.engine.sharding import chunked
+from repro.engine import codec
+from repro.engine.artifacts import CheckResult, image_payload
+from repro.engine.pool import (
+    WarmPool,
+    get_warm_pool,
+    worker_encore,
+    worker_install_model,
+)
+from repro.engine.sharding import (
+    POOL_UNAVAILABLE,
+    attach_worker_cache,
+    chunked,
+    decode_task_images,
+)
 from repro.obs import get_logger
-from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshot,
+    use_registry,
+)
 from repro.obs.profile import (
     StageProfiler,
     get_profiler,
@@ -38,7 +63,6 @@ from repro.obs.profile import (
 )
 from repro.obs.tracing import span
 from repro.sysmodel.image import SystemImage
-from repro.sysmodel.snapshot import image_from_dict, image_to_dict
 
 log = get_logger("engine.batch")
 
@@ -48,79 +72,117 @@ def default_check_chunk_size(n_items: int, workers: int) -> int:
     return max(1, math.ceil(n_items / max(1, workers * 4)))
 
 
-def _check_shard(payload: Dict[str, Any]) -> CheckResult:
-    """Worker entry point: check one chunk of target snapshot dicts.
+def encode_model_payload(model_dict: Dict[str, Any]) -> Tuple[bytes, str]:
+    """``(codec bytes, digest)`` of a model snapshot dict — counted.
+
+    Like config payloads, the model crosses the process boundary as one
+    hoisted encoding per pool lifetime; ``codec.model.encodes.total``
+    guards against per-shard re-encoding creeping back in.
+    """
+    data = codec.encode(model_dict)
+    get_registry().counter("codec.model.encodes.total").inc()
+    return data, codec.digest(data)
+
+
+def _check_shard(task: bytes) -> bytes:
+    """Worker entry point: check one codec-framed chunk task.
 
     Targets are checked under the configured error policy: a target that
-    cannot be assembled is dropped into a quarantine record on the
-    result (no report) instead of failing the whole shard.
+    cannot be decoded or assembled is dropped into a quarantine record
+    on the result (no report) instead of failing the whole shard.  The
+    pipeline and installed model are cached per worker process by
+    digest; quarantine and the drift monitor are reset per shard.  The
+    shard's metrics land in a fresh :func:`~repro.obs.metrics.use_registry`
+    override — not a default swap — so a warm worker forked under a
+    serve request's override never leaks counts across shards (see
+    ``_assemble_shard``).
     """
-    from repro.core.pipeline import EnCore, EnCoreConfig
-
-    set_registry(MetricsRegistry())
-    profiler = None
-    if payload.get("profile"):
-        profiler = set_profiler(StageProfiler().start())
-    try:
-        encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
-        encore.load_model_data(payload["model"])
-        if payload.get("faults"):
-            from repro.testing.faults import FaultPlan
-
-            encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
-        reports = []
-        shard_cm = (
-            profiler.shard("check", payload["shard_index"],
-                           items=len(payload["images"]))
-            if profiler is not None else None
-        )
-        if shard_cm is not None:
-            shard_cm.__enter__()
+    payload = codec.decode(task)
+    with use_registry(MetricsRegistry()):
+        profiler = None
+        if payload.get("profile"):
+            profiler = set_profiler(StageProfiler().start())
         try:
-            for data in payload["images"]:
-                report = encore._check_guarded(image_from_dict(data))
-                if report is not None:
-                    reports.append(report)
-        finally:
+            encore = worker_encore(payload["config"], payload["config_digest"])
+            worker_install_model(encore, payload["model"], payload["model_digest"])
+            attach_worker_cache(encore.assembler, payload.get("cache"))
+            if payload.get("faults"):
+                from repro.testing.faults import FaultPlan
+
+                encore.assembler.fault_hook = (
+                    FaultPlan.from_dict(payload["faults"]).hook
+                )
+            shard_index = payload["shard_index"]
+            reports = []
+            shard_cm = (
+                profiler.shard("check", shard_index, items=len(payload["images"]))
+                if profiler is not None else None
+            )
             if shard_cm is not None:
-                shard_cm.__exit__(None, None, None)
-        return CheckResult(
-            reports=reports,
-            metrics=get_registry().to_dict(),
-            shard_index=payload["shard_index"],
-            drift=encore.drift.to_dict() if encore.drift is not None else {},
-            quarantine=encore.quarantine.to_dicts(),
-            dropped=encore.quarantine.dropped,
-            profile=profiler.to_dict() if profiler is not None else {},
-        )
-    finally:
-        if profiler is not None:
-            set_profiler(None)
-            profiler.stop()
+                shard_cm.__enter__()
+            try:
+                for image in decode_task_images(
+                    payload, encore.assembler, shard_index
+                ):
+                    report = encore._check_guarded(image)
+                    if report is not None:
+                        reports.append(report)
+            finally:
+                if shard_cm is not None:
+                    shard_cm.__exit__(None, None, None)
+            return CheckResult(
+                reports=reports,
+                metrics=get_registry().to_dict(),
+                shard_index=shard_index,
+                drift=encore.drift.to_dict() if encore.drift is not None else {},
+                quarantine=encore.quarantine.to_dicts(),
+                dropped=encore.quarantine.dropped,
+                profile=profiler.to_dict() if profiler is not None else {},
+            ).to_bytes()
+        finally:
+            if profiler is not None:
+                set_profiler(None)
+                profiler.stop()
 
 
 class BatchChecker:
     """Stream reports for a fleet of targets across worker processes.
 
-    *quarantine* is the coordinator's :class:`~repro.core.resilience.Quarantine`
-    that worker-side drop records fold into; *fault_plan* is the
-    test-only injection hook shipped to workers inside shard payloads.
+    *model_payload* is the :func:`repro.core.persistence.model_to_dict`
+    snapshot (or its hoisted ``(bytes, digest)`` encoding via
+    *model_bytes* — preferred, computed once per model by
+    :meth:`EnCore.model_payload`); *quarantine* is the coordinator's
+    :class:`~repro.core.resilience.Quarantine` that worker-side drop
+    records fold into; *fault_plan* is the test-only injection hook
+    shipped to workers inside shard payloads; *pool* overrides the
+    shared warm pool (tests).
     """
 
     def __init__(
         self,
         config,
-        model_payload: Dict[str, Any],
+        model_payload: Optional[Dict[str, Any]] = None,
         workers: int = 1,
         chunk_size: Optional[int] = None,
         drift=None,
         quarantine=None,
         fault_plan=None,
+        config_payload: Optional[Tuple[bytes, str]] = None,
+        model_bytes: Optional[Tuple[bytes, str]] = None,
+        pool: Optional[WarmPool] = None,
+        cache=None,
+        cache_salt: str = "",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        self.cache = cache
+        self.cache_salt = cache_salt
+        if model_bytes is None:
+            if model_payload is None:
+                raise ValueError("model_payload or model_bytes is required")
+            model_bytes = encode_model_payload(model_payload)
         self.config = config
-        self.model_payload = model_payload
+        self.model_bytes = model_bytes
         self.workers = workers
         self.chunk_size = chunk_size
         #: Coordinator-side :class:`~repro.obs.model.DriftMonitor` the
@@ -129,6 +191,45 @@ class BatchChecker:
         self.drift = drift
         self.quarantine = quarantine
         self.fault_plan = fault_plan
+        if config_payload is None:
+            from repro.engine.sharding import encode_config_payload
+
+            config_payload = encode_config_payload(config)
+        self.config_payload = config_payload
+        self.pool = pool
+
+    def _cache_spec(self) -> Optional[Dict[str, Any]]:
+        """Worker-side cache handle: full lookup+store on the check path.
+
+        Unlike assembly there is no coordinator pre-pass (every target
+        needs a report regardless), so workers do their own lookups.
+        """
+        if self.cache is None or self.cache.root is None:
+            return None
+        return {
+            "root": str(self.cache.root),
+            "salt": self.cache_salt,
+            "store_only": False,
+        }
+
+    def _task(self, chunk: List[SystemImage], index: int) -> bytes:
+        payload: Dict[str, Any] = {
+            "config": self.config_payload[0],
+            "config_digest": self.config_payload[1],
+            "model": self.model_bytes[0],
+            "model_digest": self.model_bytes[1],
+            "images": [image_payload(image) for image in chunk],
+            "image_ids": [image.image_id for image in chunk],
+            "shard_index": index,
+        }
+        if self.fault_plan is not None:
+            payload["faults"] = self.fault_plan.to_dict()
+        if get_profiler() is not None:
+            payload["profile"] = True
+        cache_spec = self._cache_spec()
+        if cache_spec is not None:
+            payload["cache"] = cache_spec
+        return codec.encode(payload)
 
     def stream(self, images: Iterable[SystemImage]) -> Iterator[Report]:
         """Yield one report per surviving target, in input order."""
@@ -139,57 +240,50 @@ class BatchChecker:
             len(images), self.workers
         )
         chunks = chunked(images, chunk_size)
-        config_dict = self.config.to_dict()
-        payloads: List[Dict[str, Any]] = []
-        for index, chunk in enumerate(chunks):
-            payload = {
-                "config": config_dict,
-                "model": self.model_payload,
-                "images": [image_to_dict(image) for image in chunk],
-                "shard_index": index,
-            }
-            if self.fault_plan is not None:
-                payload["faults"] = self.fault_plan.to_dict()
-            if get_profiler() is not None:
-                payload["profile"] = True
-            payloads.append(payload)
+        tasks = [self._task(chunk, index) for index, chunk in enumerate(chunks)]
         with span("check.batch", targets=len(images), workers=self.workers):
+            pool = self.pool if self.pool is not None else get_warm_pool(self.workers)
             try:
-                executor = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(chunks))
-                )
-            except (OSError, PermissionError, ValueError) as exc:
+                executor = pool.executor()
+            except POOL_UNAVAILABLE as exc:
                 log.warning("batch.pool_unavailable", error=str(exc))
-                yield from self._stream_serial(payloads)
+                yield from self._stream_serial(tasks)
                 return
             serial_from: Optional[int] = None
             try:
-                futures = [executor.submit(_check_shard, p) for p in payloads]
-                for index, future in enumerate(futures):
-                    try:
-                        result = future.result()
-                    except BrokenProcessPool:
-                        # A worker died hard (segfault, OOM kill, crash
-                        # fault).  Every outstanding future is lost with
-                        # the pool, so finish this shard and the rest
-                        # in-process — slower, but no report is dropped.
-                        get_registry().counter("batch.serial_fallback.total").inc()
-                        log.warning(
-                            "batch.pool_broken", shard=index,
-                            remaining=len(payloads) - index,
-                        )
-                        serial_from = index
-                        break
-                    self._fold(result)
-                    yield from result.reports
-            finally:
-                executor.shutdown(wait=False, cancel_futures=True)
+                futures = [executor.submit(_check_shard, task) for task in tasks]
+            except (BrokenProcessPool, RuntimeError) as exc:
+                log.warning("batch.pool_broken_at_submit", error=type(exc).__name__)
+                pool.poison()
+                get_registry().counter("batch.serial_fallback.total").inc()
+                yield from self._stream_serial(tasks)
+                return
+            for index, future in enumerate(futures):
+                try:
+                    raw = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault, OOM kill, crash
+                    # fault).  Every outstanding future is lost with
+                    # the pool, so poison it (the next run respawns)
+                    # and finish this shard and the rest in-process —
+                    # slower, but no report is dropped.
+                    pool.poison()
+                    get_registry().counter("batch.serial_fallback.total").inc()
+                    log.warning(
+                        "batch.pool_broken", shard=index,
+                        remaining=len(tasks) - index,
+                    )
+                    serial_from = index
+                    break
+                result = CheckResult.from_bytes(raw)
+                self._fold(result)
+                yield from result.reports
             if serial_from is not None:
-                yield from self._stream_serial(payloads[serial_from:])
+                yield from self._stream_serial(tasks[serial_from:])
 
-    def _stream_serial(self, payloads: List[Dict[str, Any]]) -> Iterator[Report]:
-        for payload in payloads:
-            result = _check_shard_inline(payload)
+    def _stream_serial(self, tasks: List[bytes]) -> Iterator[Report]:
+        for task in tasks:
+            result = _check_shard_inline(task)
             self._fold(result)
             yield from result.reports
 
@@ -204,13 +298,15 @@ class BatchChecker:
         get_registry().counter("check.shards.total").inc()
 
 
-def _check_shard_inline(payload: Dict[str, Any]) -> CheckResult:
-    """Run a shard in-process without clobbering the caller's registry
-    (or its profiler — ``_check_shard`` installs worker-local ones)."""
-    parent = get_registry()
+def _check_shard_inline(task: bytes) -> CheckResult:
+    """Run a shard in-process without clobbering the caller's profiler.
+
+    ``_check_shard`` scopes its metrics with a ``use_registry`` override
+    (popped on exit), but the profiler is a process global it clears in
+    its ``finally`` — restore the caller's one here.
+    """
     parent_profiler = get_profiler()
     try:
-        return _check_shard(payload)
+        return CheckResult.from_bytes(_check_shard(task))
     finally:
-        set_registry(parent)
         set_profiler(parent_profiler)

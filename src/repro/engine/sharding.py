@@ -3,18 +3,38 @@
 Corpus assembly (parse → type → augment, per image) is embarrassingly
 parallel: no image's row depends on another's.  The coordinator splits
 the image list into contiguous chunks, ships each chunk to a worker
-process as a serialised payload, and folds the returned
-:class:`~repro.engine.artifacts.ShardResult` partials back together
-left-to-right in input order.  Because :meth:`PartialDataset.merge` is
-associative and order-preserving, the finalized dataset is identical —
-fingerprint and all — to a serial pass, regardless of worker count or
-chunk size.
+process as a compact codec-framed task (:mod:`repro.engine.codec`), and
+folds the returned :class:`~repro.engine.artifacts.ShardResult`
+partials back together left-to-right in input order.  Because
+:meth:`PartialDataset.merge` is associative and order-preserving, the
+finalized dataset is identical — fingerprint and all — to a serial
+pass, regardless of worker count or chunk size.
+
+The data plane (see ``docs/architecture.md``, "Data plane"):
+
+* Tasks and results cross the process boundary as codec bytes, not
+  pickles: the config payload is encoded **once per pool lifetime**
+  (hoisted by :meth:`EnCore.worker_payload`), each image is encoded
+  once and memoised (:func:`~repro.engine.artifacts.image_payload`),
+  and result rows ride back image-elided — the coordinator re-attaches
+  its own :class:`~repro.sysmodel.image.SystemImage` objects by id.
+* Shards run on the shared warm pool (:mod:`repro.engine.pool`), whose
+  workers keep their built pipeline across shards and runs.  A shard
+  failure poisons the pool (next run respawns) and recovery proceeds in
+  fresh single-worker pools — the crash firewall never reuses the
+  shared pool.
+* When a result cache (:mod:`repro.engine.cache`) is attached, the
+  coordinator resolves cache hits in-process *before* sharding and
+  ships only the misses; hit rows fold back in exact input order, so
+  cached runs stay byte-identical to cold ones.
 
 Failure handling has three layers (see ``docs/robustness.md``):
 
 1. **Per-image isolation** happens inside the worker: the assembler's
    error policy drops unparseable images into quarantine records that
-   ride back on the shard result.
+   ride back on the shard result.  An image whose *payload* cannot be
+   decoded (:class:`~repro.engine.codec.CodecError`) quarantines the
+   same way, under stage ``codec``.
 2. **Per-shard recovery** happens here: a shard whose worker crashed
    (``BrokenProcessPool``) or stalled (``shard_timeout``) is retried in
    a fresh single-worker pool under an exponential-backoff
@@ -25,11 +45,9 @@ Failure handling has three layers (see ``docs/robustness.md``):
    itself — never its shard, never the run.  When no subprocess can be
    created at all, survivors are assembled serially in-process.
 
-Workers rebuild their assembler from the serialised
-:class:`~repro.core.pipeline.EnCoreConfig` (including any customization
-file text), record into a fresh process-local metrics registry, and
-return its snapshot; the coordinator merges those snapshots so sharded
-runs report the same telemetry totals as serial ones.
+Workers record into a fresh process-local metrics registry per shard
+and return its snapshot; the coordinator merges those snapshots so
+sharded runs report the same telemetry totals as serial ones.
 """
 
 from __future__ import annotations
@@ -46,10 +64,24 @@ from repro.core.resilience import (
     QuarantineRecord,
     RetryPolicy,
     enforce_error_budget,
+    record_from_exception,
 )
-from repro.engine.artifacts import ShardResult
+from repro.engine import codec
+from repro.engine.artifacts import ShardResult, image_payload
+from repro.engine.codec import CodecError
+from repro.engine.pool import (
+    WarmPool,
+    get_warm_pool,
+    worker_cache,
+    worker_encore,
+)
 from repro.obs import get_logger
-from repro.obs.metrics import MetricsRegistry, get_registry, merge_snapshot, set_registry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    merge_snapshot,
+    use_registry,
+)
 from repro.obs.profile import (
     StageProfiler,
     get_profiler,
@@ -58,7 +90,7 @@ from repro.obs.profile import (
 )
 from repro.obs.tracing import span
 from repro.sysmodel.image import SystemImage
-from repro.sysmodel.snapshot import image_from_dict, image_to_dict
+from repro.sysmodel.snapshot import image_from_dict
 
 T = TypeVar("T")
 
@@ -69,6 +101,10 @@ log = get_logger("engine.sharding")
 #: Everything else (parse errors under strict policy, programming
 #: errors) propagates unchanged.
 RECOVERABLE = (BrokenProcessPool, ShardTimeout)
+
+#: Pool-creation failures that mean "no subprocess can be created here"
+#: (restricted sandboxes) — assembly falls back to the serial path.
+POOL_UNAVAILABLE = (OSError, PermissionError, ValueError)
 
 
 def chunked(items: Sequence[T], chunk_size: int) -> List[List[T]]:
@@ -89,50 +125,112 @@ def default_chunk_size(n_items: int, workers: int) -> int:
     return max(1, math.ceil(n_items / (max(1, workers) * 4)))
 
 
-def _assemble_shard(payload: Dict[str, Any]) -> ShardResult:
-    """Worker entry point: assemble one chunk of snapshot dicts.
+def encode_config_payload(config) -> Tuple[bytes, str]:
+    """``(codec bytes, digest)`` of a worker config — count every encode.
+
+    ``codec.config.encodes.total`` is the regression guard for the
+    one-encode-per-pool-lifetime contract: callers that hoist correctly
+    (``EnCore.worker_payload``) bump it once per config change, not once
+    per shard submission.
+    """
+    data = codec.encode(config.to_dict())
+    get_registry().counter("codec.config.encodes.total").inc()
+    return data, codec.digest(data)
+
+
+def attach_worker_cache(assembler, spec: Optional[Dict[str, Any]]) -> None:
+    """Arm a worker assembler's result cache from its task payload."""
+    if not spec:
+        return
+    assembler.cache = worker_cache(spec["root"])
+    assembler.cache_salt = spec["salt"]
+    assembler.cache_store_only = bool(spec.get("store_only"))
+
+
+def decode_task_images(
+    payload: Dict[str, Any], assembler, shard_index: int
+) -> List[SystemImage]:
+    """Decode a task's per-image payloads under the error policy.
+
+    Each image is framed separately, so one corrupt payload quarantines
+    exactly that image (stage ``codec``) instead of failing the shard —
+    unless the policy is strict, where it propagates like any other
+    per-image failure.
+    """
+    images: List[SystemImage] = []
+    for image_id, raw in zip(payload["image_ids"], payload["images"]):
+        try:
+            images.append(image_from_dict(codec.decode(raw)))
+        except CodecError as exc:
+            if assembler.error_policy is ErrorPolicy.STRICT:
+                raise
+            record = record_from_exception(
+                image_id, exc, stage="codec", shard_index=shard_index
+            )
+            assembler.quarantine.add(
+                record, keep=assembler.error_policy is ErrorPolicy.QUARANTINE
+            )
+            get_registry().counter(
+                "quarantine.images.total", stage=record.stage
+            ).inc()
+            log.warning(
+                "image.quarantined", image=image_id, stage=record.stage,
+                error=record.error,
+            )
+    return images
+
+
+def _assemble_shard(task: bytes) -> bytes:
+    """Worker entry point: assemble one codec-framed chunk task.
 
     Must stay a module-level function (picklable under every
-    multiprocessing start method).  The worker's metrics registry is
-    fresh per shard so the returned snapshot contains exactly this
-    shard's telemetry; quarantine records accumulated by the worker's
-    error policy ride back on the result.
+    multiprocessing start method).  The shard records into a fresh
+    registry pushed with :func:`~repro.obs.metrics.use_registry` — an
+    override, not a default swap, because a warm-pool worker may have
+    been forked while its parent thread held a request-scoped override
+    (the serve daemon) and that fork-copy would otherwise shadow a
+    plain ``set_registry`` and leak counts across shards.  Quarantine
+    records accumulated by the worker's error policy ride back on the
+    result.  The pipeline itself is cached per worker process
+    (:func:`repro.engine.pool.worker_encore`) and reset per shard.
     """
-    from repro.core.pipeline import EnCore, EnCoreConfig
+    payload = codec.decode(task)
+    with use_registry(MetricsRegistry()):
+        profiler = None
+        if payload.get("profile"):
+            profiler = set_profiler(StageProfiler().start())
+        try:
+            encore = worker_encore(payload["config"], payload["config_digest"])
+            attach_worker_cache(encore.assembler, payload.get("cache"))
+            if payload.get("faults"):
+                from repro.testing.faults import FaultPlan
 
-    set_registry(MetricsRegistry())
-    profiler = None
-    if payload.get("profile"):
-        profiler = set_profiler(StageProfiler().start())
-    try:
-        encore = EnCore(EnCoreConfig.from_dict(payload["config"]))
-        if payload.get("faults"):
-            from repro.testing.faults import FaultPlan
-
-            encore.assembler.fault_hook = FaultPlan.from_dict(payload["faults"]).hook
-        images = [image_from_dict(d) for d in payload["images"]]
-        shard_index = payload["shard_index"]
-        if profiler is not None:
-            with profiler.shard("assemble", shard_index, items=len(images)):
+                encore.assembler.fault_hook = (
+                    FaultPlan.from_dict(payload["faults"]).hook
+                )
+            shard_index = payload["shard_index"]
+            images = decode_task_images(payload, encore.assembler, shard_index)
+            if profiler is not None:
+                with profiler.shard("assemble", shard_index, items=len(images)):
+                    partial = encore.assembler.assemble_partial(
+                        images, shard_index=shard_index
+                    )
+            else:
                 partial = encore.assembler.assemble_partial(
                     images, shard_index=shard_index
                 )
-        else:
-            partial = encore.assembler.assemble_partial(
-                images, shard_index=shard_index
-            )
-        return ShardResult(
-            partial=partial,
-            metrics=get_registry().to_dict(),
-            shard_index=shard_index,
-            quarantine=encore.assembler.quarantine.to_dicts(),
-            dropped=encore.assembler.quarantine.dropped,
-            profile=profiler.to_dict() if profiler is not None else {},
-        )
-    finally:
-        if profiler is not None:
-            set_profiler(None)
-            profiler.stop()
+            return ShardResult(
+                partial=partial,
+                metrics=get_registry().to_dict(),
+                shard_index=shard_index,
+                quarantine=encore.assembler.quarantine.to_dicts(),
+                dropped=encore.assembler.quarantine.dropped,
+                profile=profiler.to_dict() if profiler is not None else {},
+            ).to_bytes()
+        finally:
+            if profiler is not None:
+                set_profiler(None)
+                profiler.stop()
 
 
 class ShardedAssembler:
@@ -140,16 +238,18 @@ class ShardedAssembler:
 
     ``workers <= 1`` runs serially through *assembler* (the caller's own
     instance, preserving programmatic customization exactly); ``workers
-    > 1`` rebuilds assemblers in worker processes from *config*.  When a
-    process pool cannot be created (restricted sandboxes), assembly
-    falls back to the serial path with a warning — results are identical
-    either way.
+    > 1`` ships codec-framed chunk tasks to the shared warm pool, whose
+    workers rebuild (once) from *config*.  When a process pool cannot be
+    created (restricted sandboxes), assembly falls back to the serial
+    path with a warning — results are identical either way.
 
     *retry* tunes the crash/timeout recovery backoff (injectable sleeper
     for tests), *shard_timeout* bounds one shard's wall time in seconds
-    (``None`` = unbounded), and *fault_plan* is the test-only injection
+    (``None`` = unbounded), *fault_plan* is the test-only injection
     hook from :mod:`repro.testing.faults`, shipped to workers inside the
-    shard payload.
+    shard payload, *config_payload* is the hoisted ``(bytes, digest)``
+    config encoding (computed here, once, when not supplied), and *pool*
+    overrides the shared warm pool (tests).
     """
 
     def __init__(
@@ -161,6 +261,8 @@ class ShardedAssembler:
         retry: Optional[RetryPolicy] = None,
         shard_timeout: Optional[float] = None,
         fault_plan=None,
+        config_payload: Optional[Tuple[bytes, str]] = None,
+        pool: Optional[WarmPool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -171,6 +273,11 @@ class ShardedAssembler:
         self.retry = retry if retry is not None else RetryPolicy()
         self.shard_timeout = shard_timeout
         self.fault_plan = fault_plan
+        self.config_payload = (
+            config_payload if config_payload is not None
+            else encode_config_payload(config)
+        )
+        self.pool = pool
 
     def assemble(self, images: Iterable[SystemImage]) -> Dataset:
         images = list(images)
@@ -210,64 +317,115 @@ class ShardedAssembler:
             s.annotate(systems=len(dataset), attributes=len(dataset.attributes()))
         return dataset
 
-    def _payload(self, chunk: List[SystemImage], index: int, config_dict) -> Dict[str, Any]:
-        payload = {
-            "config": config_dict,
-            "images": [image_to_dict(image) for image in chunk],
+    def _cache_spec(self) -> Optional[Dict[str, Any]]:
+        """The disk-cache handle shipped inside worker tasks.
+
+        ``store_only``: the coordinator already resolved every hit in
+        its pre-pass, so workers skip lookups and just fill the cache
+        for future runs (and other processes).
+        """
+        cache = getattr(self.assembler, "cache", None)
+        if cache is None or cache.root is None:
+            return None
+        return {
+            "root": str(cache.root),
+            "salt": self.assembler.cache_salt,
+            "store_only": True,
+        }
+
+    def _task(self, chunk: List[SystemImage], index: int) -> bytes:
+        payload: Dict[str, Any] = {
+            "config": self.config_payload[0],
+            "config_digest": self.config_payload[1],
+            "images": [image_payload(image) for image in chunk],
+            "image_ids": [image.image_id for image in chunk],
             "shard_index": index,
         }
         if self.fault_plan is not None:
             payload["faults"] = self.fault_plan.to_dict()
         if get_profiler() is not None:
             payload["profile"] = True
-        return payload
+        cache_spec = self._cache_spec()
+        if cache_spec is not None:
+            payload["cache"] = cache_spec
+        return codec.encode(payload)
+
+    @staticmethod
+    def _decode_result(raw: bytes, chunk: List[SystemImage]) -> ShardResult:
+        return ShardResult.from_bytes(
+            raw, {image.image_id: image for image in chunk}
+        )
+
+    def _partition(
+        self, images: List[SystemImage]
+    ) -> Tuple[List[Tuple[str, Any]], List[List[SystemImage]]]:
+        """Split *images* into fold segments: cached rows and miss chunks.
+
+        With no cache attached this is a single run of misses, chunked
+        exactly as before.  With a cache, hits are resolved here in the
+        coordinator (their per-system counters replayed by the
+        assembler) and contiguous miss runs are chunked by the *miss*
+        count — so a warm corpus with one touched image ships exactly
+        that image.
+        """
+        order: List[Tuple[str, Any]] = []
+        misses = 0
+        cache = getattr(self.assembler, "cache", None)
+        if cache is not None:
+            for image in images:
+                system = self.assembler.cached_assembled(image)
+                if system is not None:
+                    order.append(("hit", system))
+                else:
+                    order.append(("miss", image))
+                    misses += 1
+        else:
+            order = [("miss", image) for image in images]
+            misses = len(images)
+        segments: List[Tuple[str, Any]] = []
+        chunks: List[List[SystemImage]] = []
+        if misses:
+            chunk_size = self.chunk_size or default_chunk_size(misses, self.workers)
+            i = 0
+            while i < len(order):
+                kind = order[i][0]
+                j = i
+                while j < len(order) and order[j][0] == kind:
+                    j += 1
+                run = [item for _, item in order[i:j]]
+                if kind == "hit":
+                    segments.append(("rows", run))
+                else:
+                    for chunk in chunked(run, chunk_size):
+                        segments.append(("chunk", len(chunks)))
+                        chunks.append(chunk)
+                i = j
+        elif order:
+            segments.append(("rows", [system for _, system in order]))
+        return segments, chunks
 
     def _sharded_partial(self, images: List[SystemImage]) -> PartialDataset:
-        chunk_size = self.chunk_size or default_chunk_size(len(images), self.workers)
-        chunks = chunked(images, chunk_size)
-        config_dict = self.config.to_dict()
-        payloads = [
-            self._payload(chunk, index, config_dict)
-            for index, chunk in enumerate(chunks)
-        ]
         registry = get_registry()
-        with span("assemble.shards", shards=len(chunks), workers=self.workers):
-            try:
-                executor = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(chunks))
-                )
-            except (OSError, PermissionError, ValueError) as exc:
-                log.warning("shard.pool_unavailable", error=str(exc))
-                self._install_inline_faults()
-                return self.assembler.assemble_partial(images)
-            results: List[Optional[ShardResult]] = [None] * len(chunks)
-            failed: List[int] = []
-            try:
-                futures = [executor.submit(_assemble_shard, p) for p in payloads]
-                for index, future in enumerate(futures):
-                    try:
-                        results[index] = future.result(timeout=self.shard_timeout)
-                    except RECOVERABLE as exc:
-                        future.cancel()
-                        failed.append(index)
-                        registry.counter("retry.shards.failed").inc()
-                        log.warning(
-                            "shard.failed", shard=index,
-                            error=type(exc).__name__, images=len(chunks[index]),
-                        )
-            finally:
-                # wait=False: a hung worker must not stall the
-                # coordinator; recovery proceeds in fresh pools.
-                executor.shutdown(wait=False, cancel_futures=True)
-            for index in failed:
-                results[index] = self._recover_chunk(chunks[index], index, config_dict)
-            # The fold is a left fold in input order, so the result is
-            # byte-identical to a serial pass no matter which shards
-            # needed recovery.  extend() is merge() without the
-            # per-shard copy.
+        segments, chunks = self._partition(images)
+        results: List[Optional[ShardResult]] = [None] * len(chunks)
+        with span(
+            "assemble.shards", shards=len(chunks), workers=self.workers,
+            cached=len(images) - sum(len(c) for c in chunks),
+        ):
+            if chunks:
+                self._run_chunks(chunks, results)
             merged = PartialDataset()
             shards_done = 0
-            for result in results:
+            for kind, ref in segments:
+                if kind == "rows":
+                    for system in ref:
+                        merged.add(system)
+                    continue
+                # The fold is a left fold in input order, so the result
+                # is byte-identical to a serial pass no matter which
+                # shards were cached or needed recovery.  extend() is
+                # merge() without the per-shard copy.
+                result = results[ref]
                 assert result is not None
                 merged.extend(result.partial)
                 if result.metrics:
@@ -278,14 +436,58 @@ class ShardedAssembler:
                     result.quarantine, dropped=result.dropped
                 )
                 shards_done += 1
-        registry.counter("assemble.shards.total").inc(shards_done)
+        if shards_done:
+            registry.counter("assemble.shards.total").inc(shards_done)
         return merged
+
+    def _run_chunks(
+        self,
+        chunks: List[List[SystemImage]],
+        results: List[Optional[ShardResult]],
+    ) -> None:
+        """Ship chunk tasks through the warm pool, recovering failures."""
+        registry = get_registry()
+        pool = self.pool if self.pool is not None else get_warm_pool(self.workers)
+        try:
+            executor = pool.executor()
+        except POOL_UNAVAILABLE as exc:
+            log.warning("shard.pool_unavailable", error=str(exc))
+            for index, chunk in enumerate(chunks):
+                results[index] = self._assemble_inline(chunk, index)
+            return
+        tasks = [self._task(chunk, index) for index, chunk in enumerate(chunks)]
+        failed: List[int] = []
+        try:
+            futures = [executor.submit(_assemble_shard, task) for task in tasks]
+        except (BrokenProcessPool, RuntimeError) as exc:
+            # The previous generation died between acquisitions; treat
+            # every shard as failed and let recovery (fresh pools)
+            # handle them, exactly like a mid-run break.
+            log.warning("shard.pool_broken_at_submit", error=type(exc).__name__)
+            pool.poison()
+            registry.counter("retry.shards.failed").inc(len(chunks))
+            failed = list(range(len(chunks)))
+            futures = []
+        for index, future in enumerate(futures):
+            try:
+                raw = future.result(timeout=self.shard_timeout)
+            except RECOVERABLE as exc:
+                future.cancel()
+                pool.poison()
+                failed.append(index)
+                registry.counter("retry.shards.failed").inc()
+                log.warning(
+                    "shard.failed", shard=index,
+                    error=type(exc).__name__, images=len(chunks[index]),
+                )
+                continue
+            results[index] = self._decode_result(raw, chunks[index])
+        for index in failed:
+            results[index] = self._recover_chunk(chunks[index], index)
 
     # -- shard recovery --------------------------------------------------------
 
-    def _recover_chunk(
-        self, chunk: List[SystemImage], index: int, config_dict
-    ) -> ShardResult:
+    def _recover_chunk(self, chunk: List[SystemImage], index: int) -> ShardResult:
         """Bring one failed shard back: backoff-retry, then bisect."""
         registry = get_registry()
         last_exc: Optional[BaseException] = None
@@ -293,7 +495,7 @@ class ShardedAssembler:
             self.retry.backoff(attempt)
             registry.counter("retry.attempts.total").inc()
             try:
-                result = self._run_isolated(chunk, index, config_dict)
+                result = self._run_isolated(chunk, index)
             except RECOVERABLE as exc:
                 last_exc = exc
                 log.warning(
@@ -312,31 +514,32 @@ class ShardedAssembler:
             "shard.bisecting", shard=index, images=len(chunk),
             error=type(last_exc).__name__ if last_exc else "",
         )
-        partial, records, dropped = self._bisect(chunk, index, config_dict)
+        partial, records, dropped = self._bisect(chunk, index)
         return ShardResult(
             partial=partial, metrics={}, shard_index=index,
             quarantine=records, dropped=dropped,
         )
 
-    def _run_isolated(
-        self, chunk: List[SystemImage], index: int, config_dict
-    ) -> ShardResult:
+    def _run_isolated(self, chunk: List[SystemImage], index: int) -> ShardResult:
         """Run one chunk in a fresh single-worker pool (crash firewall).
 
+        Never the warm pool: a chunk under recovery is suspected of
+        crashing workers, and the firewall's job is to contain that.
         Falls back to in-process serial assembly of the chunk when no
         subprocess can be created at all — per-image isolation still
         applies there, so survivors are never lost.
         """
-        payload = self._payload(chunk, index, config_dict)
+        task = self._task(chunk, index)
         try:
             executor = ProcessPoolExecutor(max_workers=1)
-        except (OSError, PermissionError, ValueError) as exc:
+        except POOL_UNAVAILABLE as exc:
             log.warning("shard.recovery_pool_unavailable", error=str(exc))
             return self._assemble_inline(chunk, index)
         try:
-            return executor.submit(_assemble_shard, payload).result(
+            raw = executor.submit(_assemble_shard, task).result(
                 timeout=self.shard_timeout
             )
+            return self._decode_result(raw, chunk)
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -352,7 +555,7 @@ class ShardedAssembler:
         return ShardResult(partial=partial, metrics={}, shard_index=index)
 
     def _bisect(
-        self, chunk: List[SystemImage], index: int, config_dict
+        self, chunk: List[SystemImage], index: int
     ) -> Tuple[PartialDataset, List[Dict[str, Any]], int]:
         """Isolate the poisoned image(s) of a repeatedly-failing chunk.
 
@@ -365,7 +568,7 @@ class ShardedAssembler:
         to the caller carries an empty snapshot to avoid double counts.
         """
         try:
-            result = self._run_isolated(chunk, index, config_dict)
+            result = self._run_isolated(chunk, index)
         except RECOVERABLE as exc:
             if len(chunk) == 1:
                 image = chunk[0]
@@ -385,10 +588,10 @@ class ShardedAssembler:
                 return PartialDataset(), [record.to_dict()], 1
             mid = (len(chunk) + 1) // 2
             left_partial, left_records, left_dropped = self._bisect(
-                chunk[:mid], index, config_dict
+                chunk[:mid], index
             )
             right_partial, right_records, right_dropped = self._bisect(
-                chunk[mid:], index, config_dict
+                chunk[mid:], index
             )
             return (
                 left_partial.extend(right_partial),

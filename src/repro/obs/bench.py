@@ -13,8 +13,13 @@ window of earlier records — median-of-N absorbs one-off timing noise —
 and flags a regression only when the latest value is worse than the
 median by more than a configurable percentage.  Timing metrics regress
 upward, quality metrics (detection ratios) regress downward; both
-directions are expressible.  Records missing a gated metric are skipped
-(backfill-safe: pre-stamping history entries still read fine).
+directions are expressible, and a metric may also carry an absolute
+floor (the warm data-plane speedup must stay above parity no matter
+what the history says).  Baselines are scale-aware: only records whose
+``corpus_size``/``workers`` match the latest record's are comparable,
+so full-scale and quick CI records coexist in one history without
+tripping each other's timings.  Records missing a gated metric are
+skipped (backfill-safe: pre-stamping history entries still read fine).
 
 Exit contract (what the CI ``perf-smoke`` job keys on): 0 when every
 gated metric is within tolerance or there is not yet enough history,
@@ -136,11 +141,17 @@ def _metric_value(record: Mapping, metric: str) -> Optional[float]:
 
 @dataclass(frozen=True)
 class GateMetric:
-    """One gated series: where to find it, which direction is worse."""
+    """One gated series: where to find it, which direction is worse.
+
+    *min_value* is an optional absolute floor checked against the
+    latest record regardless of history depth — relative medians catch
+    drift, the floor catches "the speedup fell below parity" outright.
+    """
 
     section: str
     metric: str
     lower_is_better: bool = True
+    min_value: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -167,17 +178,54 @@ class GateMetric:
 
 
 #: What the gate watches by default: end-to-end timings regress upward,
-#: the headline detection ratio regresses downward, and the serve
-#: daemon's load numbers (``benchmarks/bench_serve.py``) regress when
-#: throughput drops or tail latency grows.
+#: the warm data-plane speedups (``benchmarks/bench_parallel_train.py``:
+#: cold serial assembly over warm pool + primed result cache, at 2 and
+#: 4 workers) regress downward, the headline detection ratio regresses
+#: downward, and the serve daemon's load numbers
+#: (``benchmarks/bench_serve.py``) regress when throughput drops or
+#: tail latency grows.
 DEFAULT_GATE_METRICS: Sequence[GateMetric] = (
     GateMetric("parallel_train", "serial_total_seconds", lower_is_better=True),
     GateMetric("parallel_train", "sharded_total_seconds", lower_is_better=True),
     GateMetric("parallel_train", "serial_assemble_seconds", lower_is_better=True),
+    GateMetric("parallel_train", "assembly_speedup",
+               lower_is_better=False, min_value=1.0),
+    GateMetric("parallel_train", "assembly_speedup_w4",
+               lower_is_better=False, min_value=1.0),
     GateMetric("headline_detection", "ratio_min", lower_is_better=False),
     GateMetric("serve_load", "requests_per_second", lower_is_better=False),
     GateMetric("serve_load", "p99_ms", lower_is_better=True),
 )
+
+
+#: Payload keys that define a record's measurement scale.  Baseline
+#: records only enter a gate comparison when these match the latest
+#: record's values — a 240-image full run regresses against earlier
+#: 240-image runs, never against quick 40-image CI records (whose
+#: absolute timings live on a different scale entirely).
+GATE_CONTEXT_KEYS: Sequence[str] = ("corpus_size", "workers")
+
+
+def _comparable_values(
+    history: BenchHistory, metric: GateMetric
+) -> List[float]:
+    """The metric's series, restricted to the latest record's scale."""
+    carrying: List[tuple] = []
+    for record in history.records(metric.section):
+        value = _metric_value(record, metric.metric)
+        if value is not None:
+            carrying.append((record.get("payload", {}), value))
+    if not carrying:
+        return []
+    latest_payload = carrying[-1][0]
+    context = {
+        key: latest_payload[key]
+        for key in GATE_CONTEXT_KEYS if key in latest_payload
+    }
+    return [
+        value for payload, value in carrying
+        if all(payload.get(key) == context[key] for key in context)
+    ]
 
 
 def _median(values: Sequence[float]) -> float:
@@ -259,17 +307,29 @@ def gate(
     """Compare each gated metric's latest record to its baseline window.
 
     The baseline is the median of up to *window* records preceding the
-    latest one; a metric with fewer than two usable records is reported
-    as ``insufficient history`` and never fails the gate.
+    latest one, restricted to records at the latest one's scale (see
+    :data:`GATE_CONTEXT_KEYS`); a metric with fewer than two comparable
+    records is reported as ``insufficient history`` and never fails the
+    gate.  Metrics with an absolute floor (``min_value``) additionally
+    fail whenever the latest record dips below it, history or not.
     """
     result = GateResult(window=window, threshold_pct=threshold_pct)
     for metric in metrics:
-        values = history.values(metric.section, metric.metric)
-        if len(values) < 2:
+        values = _comparable_values(history, metric)
+        latest_value = values[-1] if values else None
+        if (metric.min_value is not None and latest_value is not None
+                and latest_value < metric.min_value):
             result.findings.append(GateFinding(
-                metric=metric,
-                note=f"insufficient history ({len(values)} record(s))",
+                metric=metric, latest=latest_value, regressed=True,
+                note=(f"latest {latest_value:.3f} below absolute floor "
+                      f"{metric.min_value:g} ... REGRESSED"),
             ))
+            continue
+        if len(values) < 2:
+            note = f"insufficient history ({len(values)} record(s))"
+            if metric.min_value is not None and latest_value is not None:
+                note += f"; floor {metric.min_value:g} ok"
+            result.findings.append(GateFinding(metric=metric, note=note))
             continue
         latest = values[-1]
         baseline_values = values[max(0, len(values) - 1 - window):-1]

@@ -63,6 +63,22 @@ def atomic_write_text(path: Union[str, Path], text: str) -> Path:
     return path
 
 
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> Path:
+    """Binary twin of :func:`atomic_write_text` (codec-framed artifacts)."""
+    path = ensure_parent(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed or was interrupted
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return path
+
+
 def append_line(path: Union[str, Path], line: str) -> Path:
     """Append one newline-terminated line to *path*, creating parents.
 

@@ -76,6 +76,12 @@ class LedgerEntry:
     #: Run metadata: the same logical check diffs clean whether it came
     #: through the CLI or over HTTP.
     request: Dict[str, object] = field(default_factory=dict)
+    #: Result-cache provenance of a ``--cache`` run (cache directory,
+    #: hit/miss totals).  Run metadata by design: a warm cached run must
+    #: diff as semantically identical to the cold run that filled the
+    #: cache — that equivalence is exactly what the CI cache-consistency
+    #: job asserts through ``ledger diff``.
+    cache: Dict[str, object] = field(default_factory=dict)
     run_id: str = ""
     timestamp: str = ""
 
@@ -123,6 +129,8 @@ class LedgerEntry:
             out["request"] = {
                 k: self.request[k] for k in sorted(self.request)
             }
+        if self.cache:
+            out["cache"] = {k: self.cache[k] for k in sorted(self.cache)}
         return out
 
     @classmethod
@@ -152,6 +160,7 @@ class LedgerEntry:
             },
             profile=dict(data.get("profile", {})),
             request=dict(data.get("request", {})),
+            cache=dict(data.get("cache", {})),
             run_id=str(data.get("run_id", "")),
             timestamp=str(data.get("timestamp", "")),
         )
@@ -171,6 +180,9 @@ class LedgerEntry:
             line += f" quarantined={self.quarantine['total']}"
         if self.request.get("request_id"):
             line += f" req={self.request['request_id']}"
+        if self.cache:
+            line += (f" cache={self.cache.get('hits', 0)}h/"
+                     f"{self.cache.get('misses', 0)}m")
         return line
 
 

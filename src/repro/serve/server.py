@@ -96,6 +96,11 @@ class ServeConfig:
     no_ledger: bool = False
     #: Append one ledger entry per successful model-serving request.
     record_requests: bool = True
+    #: Content-addressed result-cache directory (``--cache``); ``None``
+    #: disables caching.  One :class:`~repro.engine.cache.ResultCache`
+    #: is shared by every pool replica, so a target checked by any
+    #: request warms all of them.
+    cache_dir: Optional[Union[str, Path]] = None
     #: Pipeline configuration for target assembly (defaults match the
     #: CLI's defaults, which is what pins CLI/HTTP report identity).
     encore: EnCoreConfig = field(default_factory=EnCoreConfig)
@@ -114,11 +119,14 @@ class ModelPool:
     """
 
     def __init__(self, config: EnCoreConfig, payload: Dict[str, object],
-                 size: int) -> None:
+                 size: int, cache=None) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.size = size
         self._config = config
+        #: Shared :class:`~repro.engine.cache.ResultCache` every replica
+        #: (and the batch checker's worker shards) consults.
+        self._cache = cache
         self._cond = threading.Condition()
         self._free: List[EnCore] = []
         self._created = 0
@@ -130,6 +138,8 @@ class ModelPool:
     def _build(self) -> EnCore:
         encore = EnCore(replace(self._config))
         encore.load_model_data(self._payload)
+        if self._cache is not None:
+            encore.set_cache(self._cache)
         return encore
 
     def swap(self, payload: Dict[str, object]) -> Dict[str, object]:
@@ -138,6 +148,8 @@ class ModelPool:
             candidate_config = replace(self._config)
         probe = EnCore(candidate_config)
         probe.load_model_data(payload)  # raises before anything is swapped
+        if self._cache is not None:
+            probe.set_cache(self._cache)
         assert probe.model is not None
         info = {
             "ruleset_digest": probe.model.ruleset_digest(),
@@ -213,8 +225,13 @@ class DetectionServer(ThreadingHTTPServer):
         self.started_epoch = time.time()
         snapshot_path = Path(config.snapshot)
         payload = self._read_snapshot(snapshot_path)
+        self.cache = None
+        if config.cache_dir is not None:
+            from repro.engine.cache import ResultCache
+
+            self.cache = ResultCache(config.cache_dir)
         self.pool = ModelPool(config.encore, payload,
-                              size=config.max_inflight)
+                              size=config.max_inflight, cache=self.cache)
         self.snapshot_loaded_at = time.time()
         self.reloads = 0
         self.reload_failures = 0
@@ -257,15 +274,29 @@ class DetectionServer(ThreadingHTTPServer):
 
     @staticmethod
     def _read_snapshot(path: Path) -> Dict[str, object]:
-        """The raw snapshot payload (validated by the pool's probe build)."""
+        """The raw snapshot payload (validated by the pool's probe build).
+
+        Sniffs the format like :func:`repro.core.persistence.load_snapshot`:
+        codec magic bytes mean the compact ``.encb`` binary framing,
+        anything else the historical JSON.
+        """
         from repro.core.persistence import SnapshotCorruptError
+        from repro.engine import codec
 
         try:
-            data = json.loads(path.read_text())
+            raw = path.read_bytes()
         except FileNotFoundError:
             raise SnapshotCorruptError(path, "snapshot file not found")
-        except json.JSONDecodeError as exc:
-            raise SnapshotCorruptError(path, f"invalid JSON ({exc})")
+        if codec.is_encoded(raw):
+            try:
+                data = codec.decode(raw)
+            except codec.CodecError as exc:
+                raise SnapshotCorruptError(path, f"invalid codec frame ({exc})")
+        else:
+            try:
+                data = json.loads(raw.decode("utf-8", errors="replace"))
+            except json.JSONDecodeError as exc:
+                raise SnapshotCorruptError(path, f"invalid JSON ({exc})")
         if not isinstance(data, dict):
             raise SnapshotCorruptError(
                 path, f"expected a JSON object, got {type(data).__name__}"
@@ -365,6 +396,21 @@ class DetectionServer(ThreadingHTTPServer):
             }
         return out
 
+    def data_plane(self) -> Dict[str, object]:
+        """Warm-pool and result-cache health for ``/statusz``."""
+        from repro.engine.pool import warm_pool_stats
+
+        out: Dict[str, object] = {"pool": warm_pool_stats()}
+        if self.cache is not None:
+            cache_stats = dict(self.cache.stats())
+            with self.metrics_lock:
+                cache_stats["hits"] = int(self.registry.total("cache.hit.total"))
+                cache_stats["misses"] = int(
+                    self.registry.total("cache.miss.total")
+                )
+            out["cache"] = cache_stats
+        return out
+
     def statusz(self) -> Dict[str, object]:
         """The incident-time dashboard (see docs/serving.md runbook)."""
         with self.metrics_lock:
@@ -397,6 +443,7 @@ class DetectionServer(ThreadingHTTPServer):
             },
             "requests_total": int(requests_total),
             "slo": self.slo_summary(),
+            "data_plane": self.data_plane(),
         }
 
     # -- reload ----------------------------------------------------------------
