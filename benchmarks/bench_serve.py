@@ -133,6 +133,10 @@ def run_load(
         for value in worker_latencies:
             histogram.observe(value)
     completed = histogram.count
+    # quantile() is NaN on an empty histogram (every request failed);
+    # keep the record JSON-clean with nulls in that degenerate case.
+    p50_ms = round(histogram.quantile(0.5) * 1000.0, 3) if completed else None
+    p99_ms = round(histogram.quantile(0.99) * 1000.0, 3) if completed else None
     return {
         "requests": completed,
         "concurrency": concurrency,
@@ -142,8 +146,8 @@ def run_load(
         "wall_seconds": round(wall, 3),
         "requests_per_second": round(completed / max(wall, 1e-9), 2),
         "mean_ms": round(histogram.mean * 1000.0, 3),
-        "p50_ms": round(histogram.quantile(0.5) * 1000.0, 3),
-        "p99_ms": round(histogram.quantile(0.99) * 1000.0, 3),
+        "p50_ms": p50_ms,
+        "p99_ms": p99_ms,
     }
 
 

@@ -1,0 +1,157 @@
+"""Benchmark the timeline sampler: overhead on a profiled check + memory bound.
+
+Two measurements, one record:
+
+* **Sampler overhead.**  Runs the same single-process check pass twice —
+  bare, and with a :class:`~repro.obs.timeline.TimelineSampler` sampling
+  the live registry after *every* checked target (interval ≈ 0, the
+  worst case; the serve daemon samples every 5 s).  Trials interleave
+  bare/sampled and both sides take best-of-N, so machine noise hits both
+  equally.  The headline number is ``overhead_pct``; the gated number is
+  ``overhead_headroom_pct = BUDGET_PCT − overhead_pct``, floored at 0 by
+  the regression gate — sampling must stay under the 2 % wall-clock
+  budget no matter what the history says.
+
+* **Memory bound.**  Samples a populated registry 10k times into a
+  default-capacity timeline and reports ring sizes plus traced
+  allocation growth over the post-warm-up half — the ring buffers mean
+  a week of samples costs the same as thirty minutes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_timeline.py --quick
+    PYTHONPATH=src python benchmarks/bench_timeline.py
+
+The ``timeline_sampler`` section lands in ``BENCH_headline.json`` and
+``BENCH_history.jsonl`` via the same :func:`record_headline` path as the
+other benches.  Exit status is 1 when the overhead budget is blown, so
+the CI step fails even before the gate runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import tracemalloc
+from typing import Dict, Optional, Sequence
+
+from export import BENCH_PATH, record_headline
+
+#: The wall-clock budget sampling must stay under (ISSUE acceptance).
+BUDGET_PCT = 2.0
+
+
+def measure_overhead(
+    corpus_size: int, checks: int, trials: int, seed: int = 31
+) -> Dict[str, object]:
+    """Best-of-N check-pass walls, bare vs sampled-per-target."""
+    from repro.core.pipeline import EnCore
+    from repro.corpus.generator import Ec2CorpusGenerator
+    from repro.obs.metrics import get_registry
+    from repro.obs.timeline import TimelineSampler
+
+    generator = Ec2CorpusGenerator(seed=seed)
+    images = list(generator.generate(corpus_size))
+    encore = EnCore()
+    encore.train(images)
+    targets = [generator.generate_one(5000 + i) for i in range(checks)]
+
+    def check_pass(sampler: Optional[TimelineSampler]) -> float:
+        start = time.perf_counter()
+        for image in targets:
+            encore.check(image)
+            if sampler is not None:
+                sampler.maybe_sample()
+        return time.perf_counter() - start
+
+    check_pass(None)  # warm caches/imports before timing anything
+    bare_walls = []
+    sampled_walls = []
+    samples_taken = 0
+    for _ in range(trials):
+        bare_walls.append(check_pass(None))
+        # interval ≈ 0 → one sample per checked target (worst case)
+        sampler = TimelineSampler(get_registry(), interval_s=1e-9)
+        sampled_walls.append(check_pass(sampler))
+        samples_taken = max(samples_taken, sampler.timeline.samples)
+    bare = min(bare_walls)
+    sampled = min(sampled_walls)
+    overhead_pct = (sampled - bare) / bare * 100.0 if bare > 0 else 0.0
+    return {
+        "bare_seconds": round(bare, 4),
+        "sampled_seconds": round(sampled, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "overhead_headroom_pct": round(BUDGET_PCT - overhead_pct, 3),
+        "budget_pct": BUDGET_PCT,
+        "samples_per_pass": samples_taken,
+        "trials": trials,
+    }
+
+
+def measure_memory_bound(ticks: int = 10_000) -> Dict[str, object]:
+    """Ring-buffer bound: 10k samples must not grow past the warm-up."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeline import Timeline, TimelineSampler
+
+    registry = MetricsRegistry()
+    for route in ("/v1/check", "/v1/explain", "/v1/repair"):
+        registry.counter("serve.requests.total", route=route, status="200").inc()
+        registry.histogram("serve.request.latency", route=route).observe(0.01)
+    registry.gauge("serve.queue.depth").set(0)
+    timeline = Timeline()  # default capacity / max_series
+    sampler = TimelineSampler(registry, timeline=timeline, interval_s=1.0)
+
+    warmup = ticks // 5
+    for i in range(warmup):
+        sampler.sample(now=float(i))
+    tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    for i in range(warmup, ticks):
+        sampler.sample(now=float(i))
+    grown, _ = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "ticks": ticks,
+        "series": len(timeline.series),
+        "ring_capacity": timeline.capacity,
+        "max_ring_len": max(
+            len(series.ring) for series in timeline.series.values()
+        ),
+        "post_warmup_alloc_bytes": int(grown - baseline),
+    }
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    if quick:
+        corpus_size, checks, trials = 24, 30, 3
+    else:
+        corpus_size, checks, trials = 60, 120, 5
+    payload: Dict[str, object] = {"corpus_size": corpus_size, "checks": checks}
+    payload.update(measure_overhead(corpus_size, checks, trials))
+    payload["memory"] = measure_memory_bound()
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the timeline sampler overhead + memory bound"
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (small corpus, fewer trials)")
+    parser.add_argument("--out", default=str(BENCH_PATH),
+                        help=f"headline record path (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+    payload = run(quick=args.quick)
+    path = record_headline("timeline_sampler", payload, path=args.out)
+    print(f"wrote {path}")
+    print(json.dumps({"timeline_sampler": payload}, indent=1))
+    over_budget = float(payload["overhead_pct"]) > BUDGET_PCT
+    if over_budget:
+        print(f"FAIL: sampler overhead {payload['overhead_pct']}% "
+              f"exceeds the {BUDGET_PCT:g}% budget")
+    return 1 if over_budget else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,11 @@ the training set to EnCore together with the system to be checked"):
   of one target: observed vs. expected values, the environment facts
   consulted, and the violated rule's full training provenance;
 * ``ledger``   — show or diff the persistent run ledger;
-* ``quarantine`` — list images dropped by the error policy in past runs.
+* ``quarantine`` — list images dropped by the error policy in past runs;
+* ``alerts``   — show incidents recorded in the ledger, or validate /
+  dry-run an alert rule file (``.encore/alerts.toml``);
+* ``watch``    — live terminal view of a running ``repro serve`` daemon
+  (polls ``/statusz``, ``/metrics`` and ``/alertz``).
 
 Corpus-scale commands run under an error policy (``--error-policy``,
 default ``quarantine``): images that fail to assemble are dropped with
@@ -63,6 +67,9 @@ log = get_logger("cli")
 
 #: Where ``--profile`` without an argument writes the profile document.
 DEFAULT_PROFILE_PATH = ".encore/profile.json"
+
+#: Where ``--alerts`` without an argument looks for alert rules.
+DEFAULT_ALERTS_PATH = ".encore/alerts.toml"
 
 
 def _load_corpus(directory: Optional[Path]) -> List[SystemImage]:
@@ -162,6 +169,19 @@ def _record_ledger(
                 + [int(s.get("max_rss_bytes", 0)) for s in profiler.shards]
             ),
         }
+    from repro.obs.health import get_monitor
+
+    incidents_meta: List[Dict[str, object]] = []
+    monitor = get_monitor()
+    if monitor is not None:
+        # Final tick so state at run end (including resolves) is current,
+        # then record every incident the run produced, open or closed.
+        monitor.tick()
+        with monitor.lock:
+            incidents_meta = (
+                [i.to_dict() for i in monitor.engine.firing_incidents()]
+                + [i.to_dict() for i in monitor.engine.resolved]
+            )
     totals = metric_totals(get_registry())
     cache_meta: Dict[str, object] = {}
     if getattr(encore, "cache", None) is not None:
@@ -186,6 +206,7 @@ def _record_ledger(
         quarantine=quarantine_meta,
         profile=profile_meta,
         cache=cache_meta,
+        incidents=incidents_meta,
     )
     ledger = default_ledger(getattr(args, "ledger", None))
     ledger.append(entry)
@@ -603,6 +624,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 None if getattr(args, "no_cache", False)
                 else getattr(args, "cache", None)
             ),
+            alerts_path=getattr(args, "alerts", None),
+            alerts_interval_s=getattr(args, "alerts_interval", 5.0),
             encore=encore_config,
         )
         server = DetectionServer(config)
@@ -659,6 +682,173 @@ def cmd_quarantine(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Show recorded incidents, or validate / dry-run a rule file."""
+    import json as _json
+
+    from repro.obs.alerts import AlertConfigError, load_rules
+
+    if args.action == "show":
+        from repro.obs.ledger import default_ledger
+
+        ledger = default_ledger(getattr(args, "ledger", None))
+        rows: List[Dict[str, object]] = []
+        for entry in ledger.entries():
+            for incident in entry.incidents:
+                row = dict(incident)
+                row["run_id"] = entry.run_id
+                row["timestamp"] = entry.timestamp
+                rows.append(row)
+        rows = rows[-args.last:]
+        if not rows:
+            print(f"no incidents recorded in {ledger.path}")
+            return 0
+        if args.json:
+            print(_json.dumps(rows, indent=1, sort_keys=True))
+            return 0
+        for row in rows:
+            value = row.get("value")
+            shown = "n/a" if value is None else f"{float(value):.4g}"
+            print(f"{str(row['run_id']):<12}  {str(row['timestamp']):<21} "
+                  f"[{row.get('severity', '?')}] {row.get('rule', '?')} "
+                  f"({row.get('kind', '?')}) {row.get('state', '?')} "
+                  f"value={shown}")
+        return 0
+
+    # action == "check": validate the file; with --metrics, dry-run it.
+    try:
+        rules = load_rules(args.rules_file)
+    except AlertConfigError as exc:
+        print(f"invalid alert rules: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.rules_file}: {len(rules)} rule(s) valid")
+    for rule in rules:
+        print(f"  {rule.name}: kind={rule.kind} severity={rule.severity} "
+              f"window={rule.window_s:g}s for={rule.for_s:g}s")
+    if not getattr(args, "metrics_snapshot", None):
+        return 0
+    # Dry-run against a saved metrics snapshot (--metrics FILE from any
+    # run): one timeline point, so instantaneous stats (gauge value,
+    # histogram percentiles) evaluate for real while windowed counter
+    # stats report no-data — still enough to catch a rule that would
+    # page the moment a daemon boots.
+    from repro.obs.alerts import AlertEngine
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeline import Timeline
+
+    try:
+        data = _json.loads(Path(args.metrics_snapshot).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"cannot read metrics snapshot: {exc}", file=sys.stderr)
+        return 1
+    registry = MetricsRegistry.from_dict(data)
+    timeline = Timeline()
+    timeline.sample_registry(registry, t=time.time())
+    for rule in rules:
+        rule.for_s = 0.0  # fire immediately in the dry run
+    engine = AlertEngine(rules)
+    transitions = engine.evaluate(timeline, now=time.time())
+    fired = [i for event, i in transitions if event == "fired"]
+    if not fired:
+        print("dry run: no rule fires against this snapshot")
+        return 0
+    print(f"dry run: {len(fired)} rule(s) would fire:")
+    for incident in fired:
+        print(f"  {incident.describe()}")
+    return 2
+
+
+def _fetch_json(url: str, timeout: float = 5.0):
+    import json as _json
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - local daemon
+        return _json.loads(response.read().decode())
+
+
+def _fetch_text(url: str, timeout: float = 5.0) -> str:
+    from urllib.request import urlopen
+
+    with urlopen(url, timeout=timeout) as response:  # noqa: S310 - local daemon
+        return response.read().decode()
+
+
+def _watch_frame(base: str) -> str:
+    """One rendering of a daemon's live health (metrics + alerts)."""
+    import re
+
+    lines: List[str] = []
+    statusz = _fetch_json(f"{base}/statusz")
+    alertz = _fetch_json(f"{base}/alertz")
+    snapshot = statusz.get("snapshot", {})
+    admission = statusz.get("admission", {})
+    lines.append(
+        f"{base}  up {statusz.get('uptime_s', 0):.0f}s  "
+        f"ruleset={str(snapshot.get('ruleset_digest', ''))[:12]}  "
+        f"gen={snapshot.get('generation', '?')}  "
+        f"requests={statusz.get('requests_total', 0)}  "
+        f"inflight={admission.get('inflight', 0)}/"
+        f"{admission.get('max_inflight', '?')}  "
+        f"shed={admission.get('shed_total', 0)}"
+    )
+    slo = statusz.get("slo", {})
+    for route in sorted(slo):
+        row = slo[route]
+        p99 = row.get("p99_ms")
+        p99_str = "-" if p99 is None else f"{p99:.1f}ms"
+        p50 = row.get("p50_ms")
+        p50_str = "-" if p50 is None else f"{p50:.1f}ms"
+        lines.append(f"  {route:<14} n={row.get('count', 0):<6} "
+                     f"p50={p50_str:<9} p99={p99_str}")
+    metrics_text = _fetch_text(f"{base}/metrics")
+    error_total = 0.0
+    for match in re.finditer(
+        r'^serve_requests_total\{([^}]*)\}\s+([0-9.eE+-]+)', metrics_text, re.M
+    ):
+        if re.search(r'status="[45]', match.group(1)):
+            error_total += float(match.group(2))
+    lines.append(f"  errors(4xx/5xx)={error_total:g}  "
+                 f"timeline: {alertz.get('timeline', {}).get('samples', 0)} "
+                 f"samples / {alertz.get('timeline', {}).get('series', 0)} series")
+    firing = alertz.get("firing", [])
+    if firing:
+        lines.append(f"  ALERTS FIRING ({len(firing)}):")
+        for incident in firing:
+            lines.append(
+                f"    [{incident.get('severity')}] {incident.get('rule')} "
+                f"value={incident.get('value')} "
+                f"threshold={incident.get('threshold')}"
+            )
+    else:
+        rules = alertz.get("rules", [])
+        lines.append(f"  alerts: none firing ({len(rules)} rule(s), "
+                     f"{alertz.get('evaluations', 0)} evaluations)")
+    return "\n".join(lines)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Live terminal view of a running daemon's health and alerts."""
+    from urllib.error import URLError
+
+    base = args.url.rstrip("/")
+    if not base.startswith("http"):
+        base = f"http://{base}"
+    while True:
+        try:
+            frame = _watch_frame(base)
+        except (URLError, OSError, ValueError) as exc:
+            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+            return 1
+        print(frame, flush=True)
+        if args.once:
+            return 0
+        print()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 # -- argument parsing -------------------------------------------------------------
 
 
@@ -688,6 +878,16 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--quarantine", metavar="FILE",
                        help="quarantine-log path "
                             "(default: .encore/quarantine.jsonl)")
+    group.add_argument("--alerts", metavar="FILE", nargs="?",
+                       const=DEFAULT_ALERTS_PATH,
+                       help="evaluate alert rules from this TOML file during "
+                            "the run (sampling the metrics registry on a "
+                            "bounded timeline); incidents land in the run "
+                            f"ledger (default file: {DEFAULT_ALERTS_PATH})")
+    group.add_argument("--alerts-interval", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds between timeline samples / rule "
+                            "evaluations (default: 5)")
 
 
 def _add_model_options(parser: argparse.ArgumentParser) -> None:
@@ -910,6 +1110,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="records to list with --all (default: 50)")
     p.set_defaults(func=cmd_quarantine)
 
+    p = sub.add_parser(
+        "alerts", help="show recorded incidents or validate a rule file"
+    )
+    p.add_argument("action", choices=["show", "check"])
+    p.add_argument("rules_file", nargs="?", default=DEFAULT_ALERTS_PATH,
+                   help="for 'check': the rule file to validate "
+                        f"(default: {DEFAULT_ALERTS_PATH})")
+    p.add_argument("--ledger", metavar="FILE",
+                   help="run-ledger path for 'show' "
+                        "(default: .encore/ledger.jsonl)")
+    p.add_argument("--last", type=int, default=20, metavar="N",
+                   help="incidents to list with 'show' (default: 20)")
+    p.add_argument("--json", action="store_true",
+                   help="emit incidents as JSON")
+    p.add_argument("--metrics", dest="metrics_snapshot", metavar="FILE",
+                   help="for 'check': dry-run the rules against a saved "
+                        "metrics snapshot (exit 2 if any rule would fire)")
+    p.set_defaults(func=cmd_alerts)
+
+    p = sub.add_parser(
+        "watch", help="live health/alert view of a running serve daemon"
+    )
+    p.add_argument("url", help="daemon base URL (e.g. http://127.0.0.1:8080)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="seconds between polls (default: 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (scriptable)")
+    p.set_defaults(func=cmd_watch)
+
     return parser
 
 
@@ -936,6 +1165,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             # without --trace; it is only saved into the profile.
             tracer = Tracer()
             set_tracer(tracer)
+    monitor = None
+    if (getattr(args, "alerts", None)
+            and args.command not in ("serve", "alerts", "watch")):
+        # serve builds its own monitor (sampling under its fold lock);
+        # here the monitor follows the process registry and is ticked
+        # by the engine fold loops (sharded assembly, batch checking).
+        from repro.obs.alerts import AlertConfigError
+        from repro.obs.health import build_monitor, set_monitor
+
+        try:
+            monitor = build_monitor(
+                rules_path=args.alerts,
+                interval_s=getattr(args, "alerts_interval", 5.0),
+            )
+        except AlertConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        set_monitor(monitor)
+        log.info("alerts.armed", path=str(args.alerts),
+                 rules=len(monitor.engine.rules))
     from repro.core.persistence import SnapshotCorruptError
     from repro.core.resilience import ErrorBudgetExceeded
 
@@ -950,6 +1199,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if monitor is not None:
+            from repro.obs.health import set_monitor
+
+            set_monitor(None)
+            firing = monitor.engine.firing_incidents()
+            if firing:
+                print(f"\n{len(firing)} alert(s) still firing at run end:",
+                      file=sys.stderr)
+                for incident in firing:
+                    print(f"  {incident.describe()}", file=sys.stderr)
         if tracer is not None:
             set_tracer(None)
             if getattr(args, "trace", None):

@@ -49,6 +49,7 @@ from repro.engine.sharding import (
     decode_task_images,
 )
 from repro.obs import get_logger
+from repro.obs.health import maybe_tick as health_tick
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -296,6 +297,11 @@ class BatchChecker:
         if self.quarantine is not None:
             self.quarantine.extend_dicts(result.quarantine, dropped=result.dropped)
         get_registry().counter("check.shards.total").inc()
+        # Streamed checks tick the health monitor once per folded shard
+        # (no-op unless `--alerts` installed one and the sampling
+        # interval elapsed) — a 100k-image run gets timeline points and
+        # alert evaluation without a second thread.
+        health_tick()
 
 
 def _check_shard_inline(task: bytes) -> CheckResult:

@@ -76,6 +76,7 @@ from repro.engine.pool import (
     worker_encore,
 )
 from repro.obs import get_logger
+from repro.obs.health import maybe_tick as health_tick
 from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
@@ -436,6 +437,11 @@ class ShardedAssembler:
                     result.quarantine, dropped=result.dropped
                 )
                 shards_done += 1
+                # Long sharded runs tick the health monitor between
+                # shard folds (no-op unless one is installed and its
+                # sampling interval elapsed), so a multi-hour train
+                # still gets timeline points and alert evaluation.
+                health_tick()
         if shards_done:
             registry.counter("assemble.shards.total").inc(shards_done)
         return merged

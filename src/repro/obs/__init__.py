@@ -25,7 +25,18 @@ Three cooperating layers, all dependency-free:
   behind ``repro bench diff``;
 * :mod:`repro.obs.fileio` — crash-safe output primitives
   (:func:`atomic_write_text`, :func:`append_line`) behind every
-  trace / metrics / ledger file the layer writes.
+  trace / metrics / ledger file the layer writes;
+* :mod:`repro.obs.timeline` — bounded ring-buffer time-series of
+  registry samples (:class:`Timeline` + :class:`TimelineSampler`),
+  associatively mergeable across shards, with windowed rate / delta /
+  percentile queries;
+* :mod:`repro.obs.alerts` — declarative alert rules
+  (``.encore/alerts.toml``) evaluated against the timeline by
+  :class:`AlertEngine`, producing :class:`Incident` records with a
+  firing→resolved lifecycle;
+* :mod:`repro.obs.health` — :class:`HealthMonitor`, the background
+  sampler+evaluator thread the serve daemon and long CLI runs share
+  (process-global hook: :func:`get_monitor` / :func:`set_monitor`).
 
 Every pipeline stage records into the active registry by default, so any
 ``train()`` + ``check()`` run can be inspected after the fact::
@@ -38,8 +49,22 @@ Metric and span names follow ``stage.noun.verb`` — see
 from paper Tables 2/3 and §7 to metric names.
 """
 
+from repro.obs.alerts import (
+    AlertConfigError,
+    AlertEngine,
+    AlertRule,
+    Incident,
+    load_rules,
+    parse_rules,
+)
 from repro.obs.console import render_stats
 from repro.obs.fileio import atomic_write_text, append_line
+from repro.obs.health import (
+    HealthMonitor,
+    build_monitor,
+    get_monitor,
+    set_monitor,
+)
 from repro.obs.ledger import Ledger, LedgerEntry, diff_entries
 from repro.obs.logging import StructuredLogger, configure, get_logger
 from repro.obs.model import DriftMonitor, DriftSummary, Provenance
@@ -47,6 +72,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricKindError,
     MetricsRegistry,
     get_registry,
     merge_snapshot,
@@ -54,6 +80,7 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.timeline import Timeline, TimelineSampler
 from repro.obs.profile import (
     StageProfile,
     StageProfiler,
@@ -74,35 +101,48 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AlertConfigError",
+    "AlertEngine",
+    "AlertRule",
     "Counter",
     "DriftMonitor",
     "DriftSummary",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
+    "Incident",
     "Ledger",
     "LedgerEntry",
+    "MetricKindError",
     "MetricsRegistry",
     "Provenance",
     "Span",
     "StageProfile",
     "StageProfiler",
     "StructuredLogger",
+    "Timeline",
+    "TimelineSampler",
     "Tracer",
     "append_line",
     "atomic_write_text",
+    "build_monitor",
     "chrome_trace",
     "configure",
     "diff_entries",
     "get_logger",
+    "get_monitor",
     "get_profiler",
     "get_registry",
     "get_tracer",
+    "load_rules",
+    "parse_rules",
     "merge_profile_snapshot",
     "merge_snapshot",
     "profile_document",
     "render_profile",
     "render_stats",
     "reset_registry",
+    "set_monitor",
     "set_profiler",
     "set_registry",
     "set_tracer",

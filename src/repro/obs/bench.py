@@ -195,6 +195,11 @@ DEFAULT_GATE_METRICS: Sequence[GateMetric] = (
     GateMetric("headline_detection", "ratio_min", lower_is_better=False),
     GateMetric("serve_load", "requests_per_second", lower_is_better=False),
     GateMetric("serve_load", "p99_ms", lower_is_better=True),
+    # Timeline sampling must stay under its wall-clock budget: headroom
+    # (budget − overhead, from ``benchmarks/bench_timeline.py``) is
+    # floored at zero regardless of history depth.
+    GateMetric("timeline_sampler", "overhead_headroom_pct",
+               lower_is_better=False, min_value=0.0),
 )
 
 

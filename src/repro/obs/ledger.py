@@ -82,6 +82,13 @@ class LedgerEntry:
     #: cache — that equivalence is exactly what the CI cache-consistency
     #: job asserts through ``ledger diff``.
     cache: Dict[str, object] = field(default_factory=dict)
+    #: Alert incidents observed during (or produced by) the run —
+    #: :meth:`repro.obs.alerts.Incident.to_dict` records.  Run metadata
+    #: like quarantine: whether an SLO alert fired says nothing about
+    #: what the rules semantically computed, so incidents never enter
+    #: :meth:`core` and a run that paged diffs clean against one that
+    #: didn't.
+    incidents: List[Dict[str, object]] = field(default_factory=list)
     run_id: str = ""
     timestamp: str = ""
 
@@ -131,6 +138,8 @@ class LedgerEntry:
             }
         if self.cache:
             out["cache"] = {k: self.cache[k] for k in sorted(self.cache)}
+        if self.incidents:
+            out["incidents"] = [dict(i) for i in self.incidents]
         return out
 
     @classmethod
@@ -161,6 +170,7 @@ class LedgerEntry:
             profile=dict(data.get("profile", {})),
             request=dict(data.get("request", {})),
             cache=dict(data.get("cache", {})),
+            incidents=[dict(i) for i in data.get("incidents", ())],
             run_id=str(data.get("run_id", "")),
             timestamp=str(data.get("timestamp", "")),
         )
@@ -183,6 +193,10 @@ class LedgerEntry:
         if self.cache:
             line += (f" cache={self.cache.get('hits', 0)}h/"
                      f"{self.cache.get('misses', 0)}m")
+        if self.incidents:
+            firing = sum(1 for i in self.incidents
+                         if i.get("state") == "firing")
+            line += f" incidents={len(self.incidents)}({firing} firing)"
         return line
 
 

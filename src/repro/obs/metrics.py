@@ -24,6 +24,7 @@ reason) ride along as labels, never baked into names.
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from bisect import bisect_left
@@ -39,6 +40,27 @@ DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
 )
 
 _PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class MetricKindError(ValueError):
+    """A metric name is bound to one kind and was used as another.
+
+    Raised by the registry accessors and — critically — by
+    :meth:`MetricsRegistry.merge` / :func:`merge_snapshot` when a worker
+    snapshot disagrees with the coordinator about a metric's kind
+    (counter vs gauge vs histogram).  Folding such a snapshot silently
+    would corrupt the colliding series, so the merge fails loudly,
+    naming the metric.  Subclasses :class:`ValueError` for
+    backward compatibility with callers catching the untyped error.
+    """
+
+    def __init__(self, metric: str, bound: str, requested: str) -> None:
+        super().__init__(
+            f"metric {metric!r} is a {bound}, not a {requested}"
+        )
+        self.metric = metric
+        self.bound = bound
+        self.requested = requested
 
 
 def _labelset(labels: Mapping[str, object]) -> LabelSet:
@@ -159,12 +181,26 @@ class Histogram:
 
         This is the one quantile implementation in the codebase: the
         serve SLO summary (``/statusz``), the ``repro profile`` shard
-        table and ``bench_serve`` all report p50/p99 through it, so a
-        quoted percentile means the same thing everywhere.
+        table, the timeline sampler and ``bench_serve`` all report
+        p50/p99 through it, so a quoted percentile means the same thing
+        everywhere.
+
+        Edge-case contract:
+
+        * *q* outside ``[0, 1]`` (including NaN) raises
+          :class:`ValueError` — an out-of-range rank is a caller bug,
+          never data;
+        * an **empty** histogram (``count == 0``) returns ``NaN`` — it
+          has no observations, so any finite answer would fabricate a
+          latency that never happened.  Callers that want a display
+          placeholder must choose one themselves (the serve SLO summary
+          reports ``null``).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0 or not self.buckets:
+        if self.count == 0:
+            return math.nan
+        if not self.buckets:
             return 0.0
         target = q * self.count
         cumulative = 0
@@ -246,7 +282,7 @@ class MetricsRegistry:
                 self._kinds[name] = kind
                 self._metrics[name] = {}
             elif bound != kind:
-                raise ValueError(f"metric {name!r} is a {bound}, not a {kind}")
+                raise MetricKindError(name, bound, kind)
             series = self._metrics[name]
             metric = series.get(labelset)
             if metric is None:

@@ -8,9 +8,11 @@ Routes (see ``docs/serving.md`` for the full API reference):
 ``POST /v1/explain``      why did warnings fire on one attribute of one image
 ``POST /v1/suggest``      check plus remediation suggestions
 ``GET  /healthz``         process liveness (200 even under overload)
-``GET  /readyz``          model loaded and serving
+``GET  /readyz``          model loaded and serving; 503 "degraded" while a
+                          page-severity alert incident is firing
 ``GET  /metrics``         Prometheus text exposition of the process registry
 ``GET  /statusz``         uptime, snapshot digest, admission state, SLOs
+``GET  /alertz``          alert rules, firing/resolved incidents, timeline
 ========================  =====================================================
 
 Every request carries a trace id — ``X-Request-Id`` is propagated when
@@ -187,13 +189,23 @@ class ServeHandler(BaseHTTPRequestHandler):
                                      "uptime_s": round(server.uptime_s(), 3)},
                             request_id)
         elif route == "/readyz":
-            status = 200 if server.ready else 503
-            self._send_json(
-                status,
-                {"status": "ready" if server.ready else "loading",
-                 "generation": server.pool.generation},
-                request_id,
-            )
+            # Page-severity incidents degrade readiness: a load balancer
+            # drains a replica whose SLO is burning, without killing it
+            # (liveness stays 200 so the process is left to recover).
+            degraded = server.degraded_incidents()
+            ready = server.ready and not degraded
+            status = 200 if ready else 503
+            body: Dict[str, object] = {
+                "status": ("ready" if ready
+                           else "degraded" if server.ready else "loading"),
+                "generation": server.pool.generation,
+            }
+            if degraded:
+                body["incidents"] = [i.rule for i in degraded]
+            self._send_json(status, body, request_id)
+        elif route == "/alertz":
+            status = 200
+            self._send_json(status, server.alertz(), request_id)
         elif route == "/metrics":
             status = 200
             self._send_text(status, server.prometheus(), request_id,

@@ -101,6 +101,16 @@ class ServeConfig:
     #: is shared by every pool replica, so a target checked by any
     #: request warms all of them.
     cache_dir: Optional[Union[str, Path]] = None
+    #: Alert rule file (``repro serve --alerts``).  ``None`` auto-loads
+    #: ``.encore/alerts.toml`` when it exists (malformed auto-detected
+    #: files log and degrade to no rules; an explicit path that fails
+    #: to parse refuses to start).  The timeline samples either way, so
+    #: ``/alertz`` always has history even with zero rules.
+    alerts_path: Optional[Union[str, Path]] = None
+    #: Seconds between background timeline samples / rule evaluations.
+    alerts_interval_s: float = 5.0
+    #: Ring-buffer points kept per metric series.
+    timeline_capacity: int = 360
     #: Pipeline configuration for target assembly (defaults match the
     #: CLI's defaults, which is what pins CLI/HTTP report identity).
     encore: EnCoreConfig = field(default_factory=EnCoreConfig)
@@ -250,6 +260,7 @@ class DetectionServer(ThreadingHTTPServer):
         self.ledger_lock = threading.Lock()
         self.config_fingerprint = fingerprint_payload(config.encore.to_dict())
         self._preregister_metrics()
+        self.monitor = self._build_monitor()
         self.watcher = SnapshotWatcher(
             self, poll_interval_s=config.reload_poll_s
         )
@@ -303,17 +314,82 @@ class DetectionServer(ThreadingHTTPServer):
             )
         return data
 
+    def _build_monitor(self):
+        """The daemon's health monitor (timeline + alert engine).
+
+        Rules come from ``config.alerts_path``; when unset, the default
+        ``.encore/alerts.toml`` is auto-loaded if present (a malformed
+        auto-detected file degrades to timeline-only monitoring — the
+        daemon must still boot on a bad rule edit; an explicit
+        ``--alerts`` path that fails to parse propagates, refusing to
+        start with alerting silently off).
+        """
+        from repro.obs.alerts import DEFAULT_RULES_PATH, AlertConfigError, load_rules
+        from repro.obs.health import HealthMonitor
+
+        rules = ()
+        path = self.config.alerts_path
+        if path is None and DEFAULT_RULES_PATH.exists():
+            try:
+                rules = load_rules(DEFAULT_RULES_PATH)
+            except AlertConfigError as exc:
+                log.error("serve.alerts_config_invalid",
+                          path=str(DEFAULT_RULES_PATH), detail=str(exc))
+        elif path is not None:
+            rules = load_rules(path)
+        monitor = HealthMonitor(
+            rules=rules,
+            interval_s=self.config.alerts_interval_s,
+            capacity=self.config.timeline_capacity,
+            registry=self.registry,
+            lock=self.metrics_lock,
+        )
+        monitor.on_transition(self._on_alert_transition)
+        if rules:
+            log.info("serve.alerts_loaded", rules=len(rules),
+                     interval_s=self.config.alerts_interval_s)
+        return monitor
+
+    def _on_alert_transition(self, event: str, incident) -> None:
+        """Ledger + metrics + log for every firing/resolved transition."""
+        with self.metrics_lock:
+            self.registry.counter(
+                "serve.alert.transitions.total", event=event
+            ).inc()
+        logger = log.error if incident.severity == "page" else log.warning
+        logger("serve.alert", transition=event, rule=incident.rule,
+               severity=incident.severity, series=incident.series,
+               value=incident.value, threshold=incident.threshold)
+        self._record_ledger(
+            LedgerEntry(
+                command="serve.alert",
+                config_fingerprint=self.config_fingerprint,
+                dataset_fingerprint=str(
+                    self.pool.info.get("dataset_fingerprint", "")
+                ),
+                ruleset_digest=str(self.pool.info.get("ruleset_digest", "")),
+                rule_count=int(self.pool.info.get("rule_count", 0)),
+                training_size=int(self.pool.info.get("training_size", 0)),
+                workers=self.config.max_inflight,
+                request={"event": event, "rule": incident.rule},
+                incidents=[incident.to_dict()],
+            )
+        )
+
     def start_watcher(self) -> None:
-        """Start the reload watcher thread (idempotent)."""
+        """Start the reload watcher + health monitor threads (idempotent)."""
         if not self.watcher.is_alive():
             self.watcher.start()
+        self.monitor.start(name="serve-health")
 
     def stop(self) -> None:
         """Shut down the listener and the watcher (callable off-thread)."""
+        self.monitor.stop()
         self.watcher.stop()
         self.shutdown()
 
     def server_close(self) -> None:  # also reached via context-manager exit
+        self.monitor.stop()
         self.watcher.stop()
         super().server_close()
         log.info("serve.stopped", uptime_s=round(self.uptime_s(), 3))
@@ -325,6 +401,14 @@ class DetectionServer(ThreadingHTTPServer):
     def ready(self) -> bool:
         """A model is loaded and serving (reloads never unset this)."""
         return bool(self.pool.info)
+
+    def degraded_incidents(self) -> List:
+        """Firing page-severity incidents (these degrade ``/readyz``)."""
+        return self.monitor.firing(severity="page")
+
+    def alertz(self) -> Dict[str, object]:
+        """The ``GET /alertz`` payload: rules, incidents, timeline stats."""
+        return self.monitor.snapshot()
 
     # -- metrics ---------------------------------------------------------------
 
@@ -388,11 +472,18 @@ class DetectionServer(ThreadingHTTPServer):
             mine.merge(metric)
         for route in sorted(folded):
             histogram = folded[route]
+            if histogram.count:
+                p50_ms = round(histogram.quantile(0.5) * 1000.0, 3)
+                p99_ms = round(histogram.quantile(0.99) * 1000.0, 3)
+            else:
+                # quantile() is NaN on an empty histogram; the wire
+                # format reports null rather than a JSON NaN literal.
+                p50_ms = p99_ms = None
             out[route] = {
                 "count": histogram.count,
                 "mean_ms": round(histogram.mean * 1000.0, 3),
-                "p50_ms": round(histogram.quantile(0.5) * 1000.0, 3),
-                "p99_ms": round(histogram.quantile(0.99) * 1000.0, 3),
+                "p50_ms": p50_ms,
+                "p99_ms": p99_ms,
             }
         return out
 
@@ -444,6 +535,18 @@ class DetectionServer(ThreadingHTTPServer):
             "requests_total": int(requests_total),
             "slo": self.slo_summary(),
             "data_plane": self.data_plane(),
+            "alerts": self.alerts_section(),
+        }
+
+    def alerts_section(self) -> Dict[str, object]:
+        """The compact ``/statusz`` alerts block (full detail: /alertz)."""
+        snapshot = self.monitor.snapshot()
+        return {
+            "rules": len(snapshot["rules"]),
+            "evaluations": snapshot["evaluations"],
+            "firing": len(snapshot["firing"]),
+            "firing_rules": [i["rule"] for i in snapshot["firing"]],
+            "timeline": snapshot["timeline"],
         }
 
     # -- reload ----------------------------------------------------------------

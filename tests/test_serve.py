@@ -1,6 +1,7 @@
 """Tests for the serve daemon (repro.serve): API, SLOs, admission, reload."""
 
 import json
+import math
 import subprocess
 import sys
 import threading
@@ -96,8 +97,11 @@ def target_body(held_out_image):
 
 
 class TestHistogramQuantile:
-    def test_empty_histogram_is_zero(self):
-        assert Histogram((1.0, 2.0)).quantile(0.5) == 0.0
+    def test_empty_histogram_is_nan(self):
+        # No observations means no honest percentile: the contract is
+        # NaN, and JSON surfaces (the serve SLO summary) report null.
+        assert math.isnan(Histogram((1.0, 2.0)).quantile(0.5))
+        assert math.isnan(Histogram((1.0, 2.0)).quantile(0.0))
 
     def test_out_of_range_rejected(self):
         histogram = Histogram((1.0,))
@@ -105,6 +109,18 @@ class TestHistogramQuantile:
             histogram.quantile(1.5)
         with pytest.raises(ValueError):
             histogram.quantile(-0.1)
+
+    def test_nan_q_rejected(self):
+        histogram = Histogram((1.0,))
+        histogram.observe(0.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(math.nan)
+
+    def test_boundary_q_accepted_when_populated(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(0.5)
+        assert histogram.quantile(0.0) >= 0.0
+        assert histogram.quantile(1.0) <= 2.0
 
     def test_linear_interpolation_within_bucket(self):
         histogram = Histogram((1.0, 2.0, 4.0))

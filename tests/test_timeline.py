@@ -1,0 +1,420 @@
+"""Timeline ring buffers, window queries, merge algebra, and sampling.
+
+Covers the PR's tentpole invariants:
+
+* bounded memory — rings never exceed capacity, the series set never
+  exceeds ``max_series``, and long sampling runs hold allocation flat;
+* correct window math — counter deltas/rates, gauge change, histogram
+  window stats, and the no-data (``None``) vs zero distinction;
+* associative merge across shards — ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)``;
+* concurrent sampling — an 8-thread serve-style workload sampled
+  mid-flight loses and double-counts nothing (satellite);
+* the typed ``MetricKindError`` on merge collisions (satellite).
+"""
+
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricKindError,
+    MetricsRegistry,
+    merge_snapshot,
+    use_registry,
+)
+from repro.obs.timeline import (
+    Ring,
+    Timeline,
+    TimelineSampler,
+    series_id,
+)
+
+
+class TestRing:
+    def test_keeps_insertion_order_until_full(self):
+        ring = Ring(4)
+        for i in range(3):
+            ring.append((i,))
+        assert list(ring) == [(0,), (1,), (2,)]
+        assert ring.last() == (2,)
+
+    def test_overwrites_oldest_when_full(self):
+        ring = Ring(3)
+        for i in range(7):
+            ring.append((i,))
+        assert len(ring) == 3
+        assert list(ring) == [(4,), (5,), (6,)]
+        assert ring.last() == (6,)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+
+class TestSeriesId:
+    def test_bare_and_labelled(self):
+        assert series_id("a.total") == "a.total"
+        sid = series_id("a.total", (("route", "/x"), ("status", "200")))
+        assert sid == "a.total{route=/x,status=200}"
+
+
+class TestRecording:
+    def test_counter_rate_from_consecutive_points(self):
+        timeline = Timeline()
+        timeline.record_counter("c", {}, 10.0, t=100.0)
+        timeline.record_counter("c", {}, 30.0, t=110.0)
+        points = timeline.series["c"].points()
+        assert points[0][2] == 0.0  # first point has no predecessor
+        assert points[1][2] == pytest.approx(2.0)
+
+    def test_counter_reset_clamps_rate_to_zero(self):
+        timeline = Timeline()
+        timeline.record_counter("c", {}, 50.0, t=100.0)
+        timeline.record_counter("c", {}, 5.0, t=110.0)  # process restarted
+        assert timeline.series["c"].points()[1][2] == 0.0
+
+    def test_histogram_reduced_to_percentiles(self):
+        timeline = Timeline()
+        histogram = Histogram((0.1, 1.0))
+        for value in (0.05, 0.05, 0.5):
+            histogram.observe(value)
+        timeline.record_histogram("h", {}, histogram, t=1.0)
+        t, count, total, p50, p99 = timeline.series["h"].points()[0]
+        assert count == 3
+        assert total == pytest.approx(0.6)
+        assert 0.0 < p50 <= 0.1
+        assert p99 <= 1.0
+
+    def test_empty_histogram_records_null_percentiles(self):
+        timeline = Timeline()
+        timeline.record_histogram("h", {}, Histogram((1.0,)), t=1.0)
+        point = timeline.series["h"].points()[0]
+        assert point[1] == 0 and point[3] is None and point[4] is None
+
+    def test_ring_bound_holds_over_many_samples(self):
+        timeline = Timeline(capacity=16)
+        for i in range(1000):
+            timeline.record_counter("c", {}, float(i), t=float(i))
+        assert len(timeline.series["c"].ring) == 16
+
+    def test_max_series_cap_counts_drops(self):
+        timeline = Timeline(max_series=3)
+        for i in range(10):
+            timeline.record_counter("c", {"i": str(i)}, 1.0, t=1.0)
+        assert len(timeline.series) == 3
+        assert timeline.dropped_series == 7
+
+
+class TestSampleRegistry:
+    def test_samples_every_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("req.total", route="/a").inc(4)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        timeline = Timeline()
+        sampled = timeline.sample_registry(registry, t=1.0)
+        assert sampled == 3
+        assert timeline.samples == 1
+        assert timeline.latest_value("req.total") == 4.0
+        assert timeline.latest_value("depth") == 7.0
+        assert timeline.latest_value("lat", stat="count") == 1.0
+
+
+class TestWindowQueries:
+    @pytest.fixture()
+    def timeline(self):
+        timeline = Timeline()
+        registry = MetricsRegistry()
+        counter_a = registry.counter("req.total", route="/a")
+        counter_b = registry.counter("req.total", route="/b")
+        gauge = registry.gauge("rss")
+        histogram = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for step in range(5):
+            counter_a.inc(10)
+            counter_b.inc(2)
+            gauge.set(100 + step * 10)
+            histogram.observe(0.05)
+            timeline.sample_registry(registry, t=100.0 + step * 5)
+        return timeline
+
+    def test_counter_delta_sums_label_series(self, timeline):
+        # Window covers the last three points (t=110..120): 2 steps.
+        assert timeline.counter_delta("req.total", 10.0, now=120.0) == 24.0
+
+    def test_counter_delta_respects_label_filter(self, timeline):
+        delta = timeline.counter_delta(
+            "req.total", 10.0, labels={"route": "/a"}, now=120.0
+        )
+        assert delta == 20.0
+
+    def test_single_point_window_is_no_data(self, timeline):
+        assert timeline.counter_delta("req.total", 1.0, now=120.0) is None
+        assert timeline.rate("req.total", 1.0, now=120.0) is None
+
+    def test_unknown_metric_is_no_data(self, timeline):
+        assert timeline.counter_delta("nope", 60.0) is None
+        assert timeline.latest_value("nope") is None
+
+    def test_rate_is_delta_over_span(self, timeline):
+        rate = timeline.rate("req.total", 10.0, now=120.0)
+        assert rate == pytest.approx(24.0 / 10.0)
+
+    def test_gauge_change_per_second(self, timeline):
+        change = timeline.gauge_change("rss", 10.0, now=120.0)
+        assert change == pytest.approx(2.0)  # +10 per 5 s step
+
+    def test_histogram_window_counts_deltas(self, timeline):
+        stats = timeline.histogram_window("lat", 10.0, now=120.0)
+        assert stats["count"] == 2.0
+        assert stats["mean"] == pytest.approx(0.05)
+        assert stats["p50"] is not None
+
+    def test_latest_value_takes_max_for_percentiles(self, timeline):
+        assert timeline.latest_value("lat", stat="p99") is not None
+
+
+def _sampled_timeline(values, capacity=8):
+    timeline = Timeline(capacity=capacity)
+    for t, value in values:
+        timeline.record_counter("c", {}, value, t=t)
+    return timeline
+
+
+class TestMerge:
+    def test_counter_values_sum_newest_aligned(self):
+        a = _sampled_timeline([(1.0, 10.0), (2.0, 20.0)])
+        b = _sampled_timeline([(1.5, 5.0), (2.5, 7.0)])
+        merged = a.merge(b)
+        points = merged.series["c"].points()
+        assert [p[1] for p in points] == [15.0, 27.0]
+        assert [p[0] for p in points] == [1.5, 2.5]
+
+    def test_unequal_lengths_treat_missing_as_zero(self):
+        a = _sampled_timeline([(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)])
+        b = _sampled_timeline([(2.9, 4.0)])
+        merged = a.merge(b)
+        assert [p[1] for p in merged.series["c"].points()] == [10.0, 20.0, 34.0]
+
+    def test_merge_is_associative(self):
+        def build():
+            return (
+                _sampled_timeline([(1.0, 1.0), (2.0, 2.0), (3.0, 4.0)]),
+                _sampled_timeline([(1.1, 10.0), (2.1, 20.0)]),
+                _sampled_timeline([(2.2, 100.0), (3.2, 200.0), (4.2, 400.0)]),
+            )
+
+        a1, b1, c1 = build()
+        left = a1.merge(b1).merge(c1)
+        a2, b2, c2 = build()
+        right = a2.merge(b2.merge(c2))
+        assert left.to_dict()["series"] == right.to_dict()["series"]
+
+    def test_histogram_merge_sums_population_maxes_tails(self):
+        def record(timeline, t, values):
+            histogram = Histogram((0.1, 1.0))
+            for value in values:
+                histogram.observe(value)
+            timeline.record_histogram("h", {}, histogram, t=t)
+
+        a, b = Timeline(), Timeline()
+        record(a, 1.0, [0.05])
+        record(b, 1.1, [0.5, 0.5])
+        merged = a.merge(b)
+        t, count, total, p50, p99 = merged.series["h"].points()[0]
+        assert count == 3 and total == pytest.approx(1.05)
+        assert p50 is not None and p99 is not None
+        # the merged tail is the conservative (max) side's estimate
+        assert p99 >= 0.1
+
+    def test_kind_collision_raises(self):
+        a, b = Timeline(), Timeline()
+        a.record_counter("x", {}, 1.0, t=1.0)
+        b.record_gauge("x", {}, 1.0, t=1.0)
+        with pytest.raises(ValueError, match="cannot merge series"):
+            a.merge(b)
+
+    def test_sharded_merge_equals_combined_registry(self):
+        """Per-shard timelines merged == one timeline over the fold."""
+        shard_registries = [MetricsRegistry() for _ in range(3)]
+        for i, registry in enumerate(shard_registries):
+            registry.counter("work.total").inc(10 * (i + 1))
+        shard_timelines = []
+        for i, registry in enumerate(shard_registries):
+            timeline = Timeline()
+            timeline.sample_registry(registry, t=100.0)
+            shard_timelines.append(timeline)
+        merged = shard_timelines[0]
+        for timeline in shard_timelines[1:]:
+            merged = merged.merge(timeline)
+        assert merged.latest_value("work.total") == 60.0
+
+
+class TestJsonRoundTrip:
+    def test_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c", route="/a").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(0.1,)).observe(0.05)
+        timeline = Timeline(capacity=4)
+        timeline.sample_registry(registry, t=1.0)
+        timeline.sample_registry(registry, t=2.0)
+        blob = json.dumps(timeline.to_dict(), sort_keys=True)
+        restored = Timeline.from_dict(json.loads(blob))
+        assert restored.to_dict() == timeline.to_dict()
+        assert restored.capacity == 4
+
+
+class TestSampler:
+    def test_maybe_sample_respects_interval(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        clock = iter([100.0, 101.0, 106.0]).__next__
+        sampler = TimelineSampler(registry, interval_s=5.0, clock=clock)
+        assert sampler.sample() == 1              # t=100
+        assert sampler.maybe_sample() is False    # t=101: too soon
+        assert sampler.maybe_sample() is True     # t=106: due
+        assert sampler.timeline.samples == 2
+
+    def test_follows_process_registry_when_unbound(self):
+        sampler = TimelineSampler(interval_s=1.0)
+        private = MetricsRegistry()
+        private.counter("mine").inc(9)
+        with use_registry(private):
+            sampler.sample(now=1.0)
+        assert sampler.timeline.latest_value("mine") == 9.0
+
+    def test_sample_under_lock(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        lock = threading.Lock()
+        sampler = TimelineSampler(registry, interval_s=1.0, lock=lock)
+        assert sampler.sample(now=1.0) == 1
+
+
+class TestConcurrentSampling:
+    """Satellite: serve-style 8-thread workload sampled mid-flight."""
+
+    THREADS = 8
+    ITERATIONS = 200
+
+    def test_no_lost_or_double_counted_increments(self):
+        process_registry = MetricsRegistry()
+        fold_lock = threading.Lock()
+        timeline = Timeline(capacity=4096)
+        sampler = TimelineSampler(
+            process_registry, timeline=timeline,
+            interval_s=1e-9, lock=fold_lock,
+        )
+        stop = threading.Event()
+
+        def worker(index: int) -> None:
+            # Exactly the serve request pattern: a private registry per
+            # unit of work, folded under the shared lock.
+            for _ in range(self.ITERATIONS):
+                private = MetricsRegistry()
+                private.counter("req.total",
+                                route=f"/r{index % 2}").inc()
+                private.histogram(
+                    "lat", buckets=(0.001, 0.01)
+                ).observe(0.0005)
+                with fold_lock:
+                    process_registry.merge(private)
+
+        def sample_loop() -> None:
+            t = 0.0
+            while not stop.is_set():
+                t += 1.0
+                sampler.sample(now=t)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        sampler_thread = threading.Thread(target=sample_loop)
+        sampler_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        sampler_thread.join()
+        last_ts = [
+            series.ring.last()[0] for series in timeline.series.values()
+        ]
+        sampler.sample(now=(max(last_ts) if last_ts else 0.0) + 1.0)
+
+        expected = self.THREADS * self.ITERATIONS
+        # The final sample's totals equal the registry's ground truth:
+        # nothing lost, nothing double-counted.
+        assert timeline.latest_value("req.total") == float(expected)
+        assert timeline.latest_value("lat", stat="count") == float(expected)
+        assert process_registry.total("req.total") == expected
+        # Every sampled cumulative value is monotonically non-decreasing
+        # — a consistent cut can never show a counter going backwards.
+        for sid, series in timeline.series.items():
+            if series.kind != "counter":
+                continue
+            values = [point[1] for point in series.ring]
+            assert values == sorted(values), sid
+
+
+class TestFlatMemory:
+    def test_long_sampling_run_holds_allocation_flat(self):
+        registry = MetricsRegistry()
+        for route in ("/a", "/b", "/c"):
+            registry.counter("req.total", route=route).inc()
+        registry.histogram("lat", buckets=(0.01, 0.1)).observe(0.05)
+        timeline = Timeline(capacity=64)
+        sampler = TimelineSampler(registry, timeline=timeline, interval_s=1.0)
+
+        for i in range(2000):
+            sampler.sample(now=float(i))
+        tracemalloc.start()
+        baseline, _ = tracemalloc.get_traced_memory()
+        for i in range(2000, 10000):
+            sampler.sample(now=float(i))
+        current, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        # Rings are full after the warm-up, so 8k further samples must
+        # not grow the timeline: generous slack for interpreter noise.
+        assert current - baseline < 256 * 1024
+        assert all(
+            len(series.ring) <= 64 for series in timeline.series.values()
+        )
+        assert timeline.samples == 10000
+
+
+class TestMetricKindErrorSatellite:
+    def test_accessor_collision_is_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("x.total").inc()
+        with pytest.raises(MetricKindError) as excinfo:
+            registry.gauge("x.total")
+        error = excinfo.value
+        assert error.metric == "x.total"
+        assert error.bound == "counter"
+        assert error.requested == "gauge"
+        assert "x.total" in str(error)
+        assert isinstance(error, ValueError)  # backward compatibility
+
+    def test_merge_snapshot_collision_names_the_metric(self):
+        ours = MetricsRegistry()
+        ours.counter("shared.metric").inc()
+        theirs = MetricsRegistry()
+        theirs.gauge("shared.metric").set(5)
+        with use_registry(ours):
+            with pytest.raises(MetricKindError) as excinfo:
+                merge_snapshot(theirs.to_dict())
+        assert excinfo.value.metric == "shared.metric"
+
+    def test_registry_merge_collision_histogram_vs_counter(self):
+        ours = MetricsRegistry()
+        ours.histogram("h", buckets=(1.0,)).observe(0.5)
+        theirs = MetricsRegistry()
+        theirs.counter("h").inc()
+        with pytest.raises(MetricKindError):
+            ours.merge(theirs)
