@@ -71,6 +71,16 @@ DEFAULT_PROFILE_PATH = ".encore/profile.json"
 #: Where ``--alerts`` without an argument looks for alert rules.
 DEFAULT_ALERTS_PATH = ".encore/alerts.toml"
 
+#: Where the always-on flight recorder's dump lands at run end (and
+#: where ``repro doctor`` picks it up when no process is live).
+DEFAULT_FLIGHT_PATH = ".encore/flight.json"
+
+#: Commands that run the detection pipeline and therefore fly with the
+#: always-on flight recorder (serve installs its own).
+FLIGHT_COMMANDS = (
+    "generate", "train", "check", "suggest", "audit", "stats", "explain",
+)
+
 
 def _load_corpus(directory: Optional[Path]) -> List[SystemImage]:
     if directory is None:
@@ -827,18 +837,45 @@ def _watch_frame(base: str) -> str:
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    """Live terminal view of a running daemon's health and alerts."""
+    """Live terminal view of a running daemon's health and alerts.
+
+    A watch session must survive the daemon it watches: when a poll
+    fails with connection-refused/reset (a restart, a deploy), the loop
+    prints a ``reconnecting`` status line and retries with exponential
+    backoff (capped at 30s) instead of dying with a traceback.
+    ``--once`` keeps the old hard-failure contract for scripts, and
+    ``--max-retries N`` bounds the patience for tests and CI.
+    """
     from urllib.error import URLError
 
     base = args.url.rstrip("/")
     if not base.startswith("http"):
         base = f"http://{base}"
+    failures = 0
     while True:
         try:
             frame = _watch_frame(base)
         except (URLError, OSError, ValueError) as exc:
-            print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
-            return 1
+            if args.once:
+                print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+                return 1
+            failures += 1
+            retries = getattr(args, "max_retries", None)
+            if retries is not None and failures > retries:
+                print(f"error: cannot reach {base} after {failures} "
+                      f"attempt(s): {exc}", file=sys.stderr)
+                return 1
+            delay = min(max(args.interval, 0.1) * (2 ** min(failures - 1, 4)),
+                        30.0)
+            print(f"reconnecting to {base} "
+                  f"(attempt {failures}, retry in {delay:g}s)",
+                  file=sys.stderr, flush=True)
+            try:
+                time.sleep(delay)
+            except KeyboardInterrupt:
+                return 0
+            continue
+        failures = 0
         print(frame, flush=True)
         if args.once:
             return 0
@@ -847,6 +884,59 @@ def cmd_watch(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
         except KeyboardInterrupt:
             return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Build (or validate) a redacted diagnostic bundle."""
+    from repro.obs.doctor import (
+        DEFAULT_BUNDLE_PATH,
+        DoctorError,
+        build_bundle,
+        check_bundle,
+    )
+
+    if args.action == "check":
+        target = args.path or DEFAULT_BUNDLE_PATH
+        try:
+            report = check_bundle(target)
+        except DoctorError as exc:
+            print(f"bundle check failed: {exc}", file=sys.stderr)
+            return 1
+        print(f"{report['path']}: ok — {report['verified']} member(s) "
+              f"verified (created {report['created_at']})")
+        for name in report["members"]:
+            print(f"  {name}")
+        return 0
+
+    fetch = None
+    if getattr(args, "url", None):
+        base = args.url.rstrip("/")
+        if not base.startswith("http"):
+            base = f"http://{base}"
+
+        def fetch(route: str, _base: str = base):
+            return _fetch_json(f"{_base}/{route}")
+
+    out = args.path or DEFAULT_BUNDLE_PATH
+    try:
+        path, manifest = build_bundle(
+            out,
+            state_dir=args.state_dir,
+            snapshot=getattr(args, "snapshot", None),
+            tail=args.tail,
+            fetch=fetch,
+        )
+    except (DoctorError, OSError) as exc:
+        print(f"error: cannot build bundle: {exc}", file=sys.stderr)
+        return 1
+    members = manifest["members"]
+    log.info("doctor.bundled", path=str(path), members=len(members))
+    print(f"wrote {path} ({len(members)} member(s)):")
+    for name, meta in sorted(members.items()):
+        print(f"  {name:<22} {meta['bytes']:>8} bytes "
+              f"sha256={str(meta['sha256'])[:12]}")
+    print(f"verify with: repro doctor check {path}")
+    return 0
 
 
 # -- argument parsing -------------------------------------------------------------
@@ -1137,7 +1227,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between polls (default: 2)")
     p.add_argument("--once", action="store_true",
                    help="print one frame and exit (scriptable)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="give up after N consecutive failed polls "
+                        "(default: retry forever)")
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "doctor",
+        help="assemble (or validate) a redacted diagnostic bundle",
+        description="Bundle the flight-recorder dump, ledger and "
+                    "quarantine tails, profile, alert rules, and "
+                    "config/snapshot digests into one redacted tar.gz "
+                    "for incident handoff; 'doctor check BUNDLE' "
+                    "re-verifies a bundle's manifest digests.",
+    )
+    p.add_argument("action", nargs="?", choices=["bundle", "check"],
+                   default="bundle",
+                   help="bundle (default): build one; check: validate one")
+    p.add_argument("path", nargs="?", default=None,
+                   help="bundle path (output for 'bundle', input for "
+                        "'check'; default: .encore/doctor-bundle.tar.gz)")
+    p.add_argument("--state-dir", default=".encore", metavar="DIR",
+                   help="state directory to collect from (default: .encore)")
+    p.add_argument("--url", metavar="URL",
+                   help="also snapshot a running daemon's /statusz, "
+                        "/alertz, /tracez, and /flightz")
+    p.add_argument("--snapshot", metavar="FILE",
+                   help="model snapshot file to digest into the bundle")
+    p.add_argument("--tail", type=int, default=200, metavar="N",
+                   help="ledger/quarantine lines to keep (default: 200)")
+    p.set_defaults(func=cmd_doctor)
 
     return parser
 
@@ -1165,6 +1284,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             # without --trace; it is only saved into the profile.
             tracer = Tracer()
             set_tracer(tracer)
+    flight = None
+    if args.command in FLIGHT_COMMANDS:
+        # Always-on black box for pipeline runs: closed spans, log
+        # records, errors, and incidents land in bounded rings, dumped
+        # to .encore/flight.json at exit for `repro doctor` to bundle.
+        from repro.obs.flight import FlightRecorder, set_flight
+
+        flight = set_flight(FlightRecorder())
     monitor = None
     if (getattr(args, "alerts", None)
             and args.command not in ("serve", "alerts", "watch")):
@@ -1241,6 +1368,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
                 atomic_write_text(metrics_dest, snapshot + "\n")
                 log.info("metrics.saved", path=metrics_dest)
+        if flight is not None:
+            from repro.obs.flight import set_flight
+
+            set_flight(None)
+            if len(flight):
+                flight.save(DEFAULT_FLIGHT_PATH)
 
 
 if __name__ == "__main__":

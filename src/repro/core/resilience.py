@@ -117,9 +117,13 @@ class QuarantineRecord:
     source_path: str = ""
     line: int = 0
     shard_index: int = -1
+    #: Trace that was active when the image was dropped ("" when tracing
+    #: was off) — the join key from a quarantine record back to its
+    #: request/run trace and flight-recorder entries.
+    trace_id: str = ""
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "image_id": self.image_id,
             "stage": self.stage,
             "error": self.error,
@@ -128,6 +132,9 @@ class QuarantineRecord:
             "line": self.line,
             "shard_index": self.shard_index,
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "QuarantineRecord":
@@ -139,6 +146,7 @@ class QuarantineRecord:
             source_path=str(data.get("source_path", "")),
             line=int(data.get("line", 0)),
             shard_index=int(data.get("shard_index", -1)),
+            trace_id=str(data.get("trace_id", "")),
         )
 
     def describe(self) -> str:
@@ -175,10 +183,15 @@ def record_from_exception(
     """Build a :class:`QuarantineRecord` from a caught exception.
 
     The source line is recovered from ``line N`` markers that the
-    parsers embed in :class:`ConfigParseError` messages.
+    parsers embed in :class:`ConfigParseError` messages.  When a trace
+    is active (imported lazily — tracing sits above this module), the
+    record is stamped with its trace id so drops join traces and logs.
     """
+    from repro.obs.tracing import current_context
+
     message = str(exc)
     match = _LINE_RE.search(message)
+    context = current_context()
     return QuarantineRecord(
         image_id=image_id,
         stage=classify_stage(exc, default=stage),
@@ -187,6 +200,7 @@ def record_from_exception(
         source_path=source_path,
         line=int(match.group(1)) if match else 0,
         shard_index=shard_index,
+        trace_id=context.trace_id if context is not None else "",
     )
 
 

@@ -193,9 +193,13 @@ class ShardResult:
     #: worker's resource profile; empty unless the coordinator is
     #: profiling (the payload carries the flag).
     profile: Dict[str, Any] = field(default_factory=dict)
+    #: :meth:`repro.obs.tracing.Tracer.snapshot` of the worker's span
+    #: forest; empty unless the payload shipped a trace context.  Wire
+    #: bytes are unchanged when tracing is off (the key is elided).
+    spans: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "partial": partial_to_dict(self.partial),
             "metrics": self.metrics,
             "shard_index": self.shard_index,
@@ -203,6 +207,9 @@ class ShardResult:
             "dropped": self.dropped,
             "profile": dict(self.profile),
         }
+        if self.spans:
+            out["spans"] = dict(self.spans)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ShardResult":
@@ -213,6 +220,7 @@ class ShardResult:
             quarantine=[dict(r) for r in data.get("quarantine", ())],
             dropped=int(data.get("dropped", 0)),
             profile=dict(data.get("profile", {})),
+            spans=dict(data.get("spans", {})),
         )
 
     def to_bytes(self) -> bytes:
@@ -221,14 +229,17 @@ class ShardResult:
         Rows elide their backing images (the coordinator holds the
         originals); everything else matches :meth:`to_dict`.
         """
-        return codec.encode({
+        out = {
             "partial": partial_to_dict(self.partial, include_images=False),
             "metrics": self.metrics,
             "shard_index": self.shard_index,
             "quarantine": list(self.quarantine),
             "dropped": self.dropped,
             "profile": dict(self.profile),
-        })
+        }
+        if self.spans:
+            out["spans"] = dict(self.spans)
+        return codec.encode(out)
 
     @classmethod
     def from_bytes(
@@ -243,6 +254,7 @@ class ShardResult:
             quarantine=[dict(r) for r in decoded.get("quarantine", ())],
             dropped=int(decoded.get("dropped", 0)),
             profile=dict(decoded.get("profile", {})),
+            spans=dict(decoded.get("spans", {})),
         )
 
 
@@ -326,9 +338,11 @@ class CheckResult:
     dropped: int = 0
     #: Worker resource-profile snapshot (see :class:`ShardResult.profile`).
     profile: Dict[str, Any] = field(default_factory=dict)
+    #: Worker span-forest snapshot (see :class:`ShardResult.spans`).
+    spans: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "reports": [r.to_dict() for r in self.reports],
             "metrics": self.metrics,
             "shard_index": self.shard_index,
@@ -337,6 +351,9 @@ class CheckResult:
             "dropped": self.dropped,
             "profile": dict(self.profile),
         }
+        if self.spans:
+            out["spans"] = dict(self.spans)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "CheckResult":
@@ -348,11 +365,12 @@ class CheckResult:
             quarantine=[dict(r) for r in data.get("quarantine", ())],
             dropped=int(data.get("dropped", 0)),
             profile=dict(data.get("profile", {})),
+            spans=dict(data.get("spans", {})),
         )
 
     def to_bytes(self) -> bytes:
         """Compact binary wire form; scores stay full-precision float64."""
-        return codec.encode({
+        out = {
             "reports": [report_to_wire(r) for r in self.reports],
             "metrics": self.metrics,
             "shard_index": self.shard_index,
@@ -360,7 +378,10 @@ class CheckResult:
             "quarantine": list(self.quarantine),
             "dropped": self.dropped,
             "profile": dict(self.profile),
-        })
+        }
+        if self.spans:
+            out["spans"] = dict(self.spans)
+        return codec.encode(out)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "CheckResult":

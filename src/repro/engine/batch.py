@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.report import Report
@@ -41,6 +42,7 @@ from repro.engine.pool import (
     get_warm_pool,
     worker_encore,
     worker_install_model,
+    worker_tracer,
 )
 from repro.engine.sharding import (
     POOL_UNAVAILABLE,
@@ -62,7 +64,7 @@ from repro.obs.profile import (
     merge_profile_snapshot,
     set_profiler,
 )
-from repro.obs.tracing import span
+from repro.obs.tracing import current_context, merge_remote_spans, span, use_tracer
 from repro.sysmodel.image import SystemImage
 
 log = get_logger("engine.batch")
@@ -99,7 +101,11 @@ def _check_shard(task: bytes) -> bytes:
     ``_assemble_shard``).
     """
     payload = codec.decode(task)
-    with use_registry(MetricsRegistry()):
+    shard_index = payload["shard_index"]
+    tracer = worker_tracer(payload, shard_index)
+    with use_registry(MetricsRegistry()), (
+        use_tracer(tracer) if tracer is not None else nullcontext()
+    ):
         profiler = None
         if payload.get("profile"):
             profiler = set_profiler(StageProfiler().start())
@@ -113,24 +119,26 @@ def _check_shard(task: bytes) -> bytes:
                 encore.assembler.fault_hook = (
                     FaultPlan.from_dict(payload["faults"]).hook
                 )
-            shard_index = payload["shard_index"]
             reports = []
+            # Like ``_assemble_shard``: the shard-root span bypasses the
+            # module-level span() so tracing on/off leaves metrics
+            # byte-identical (no extra histogram observations).
+            shard_span = (
+                tracer.span("check.shard", shard=shard_index,
+                            items=len(payload["images"]))
+                if tracer is not None else nullcontext()
+            )
             shard_cm = (
                 profiler.shard("check", shard_index, items=len(payload["images"]))
-                if profiler is not None else None
+                if profiler is not None else nullcontext()
             )
-            if shard_cm is not None:
-                shard_cm.__enter__()
-            try:
+            with shard_span, shard_cm:
                 for image in decode_task_images(
                     payload, encore.assembler, shard_index
                 ):
                     report = encore._check_guarded(image)
                     if report is not None:
                         reports.append(report)
-            finally:
-                if shard_cm is not None:
-                    shard_cm.__exit__(None, None, None)
             return CheckResult(
                 reports=reports,
                 metrics=get_registry().to_dict(),
@@ -139,6 +147,7 @@ def _check_shard(task: bytes) -> bytes:
                 quarantine=encore.quarantine.to_dicts(),
                 dropped=encore.quarantine.dropped,
                 profile=profiler.to_dict() if profiler is not None else {},
+                spans=tracer.snapshot(shard=shard_index) if tracer is not None else {},
             ).to_bytes()
         finally:
             if profiler is not None:
@@ -227,6 +236,9 @@ class BatchChecker:
             payload["faults"] = self.fault_plan.to_dict()
         if get_profiler() is not None:
             payload["profile"] = True
+        context = current_context()
+        if context is not None:
+            payload["trace"] = context.to_dict()
         cache_spec = self._cache_spec()
         if cache_spec is not None:
             payload["cache"] = cache_spec
@@ -241,8 +253,12 @@ class BatchChecker:
             len(images), self.workers
         )
         chunks = chunked(images, chunk_size)
-        tasks = [self._task(chunk, index) for index, chunk in enumerate(chunks)]
         with span("check.batch", targets=len(images), workers=self.workers):
+            # Tasks are framed inside the batch span so the propagated
+            # trace context names it as the workers' remote parent.
+            tasks = [
+                self._task(chunk, index) for index, chunk in enumerate(chunks)
+            ]
             pool = self.pool if self.pool is not None else get_warm_pool(self.workers)
             try:
                 executor = pool.executor()
@@ -292,6 +308,8 @@ class BatchChecker:
         merge_snapshot(result.metrics)
         if result.profile:
             merge_profile_snapshot(result.profile)
+        if result.spans:
+            merge_remote_spans(result.spans)
         if self.drift is not None and result.drift:
             self.drift.merge_snapshot(result.drift)
         if self.quarantine is not None:

@@ -56,6 +56,7 @@ import math
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as ShardTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.dataset import Dataset, PartialDataset
@@ -74,6 +75,7 @@ from repro.engine.pool import (
     get_warm_pool,
     worker_cache,
     worker_encore,
+    worker_tracer,
 )
 from repro.obs import get_logger
 from repro.obs.health import maybe_tick as health_tick
@@ -89,7 +91,7 @@ from repro.obs.profile import (
     merge_profile_snapshot,
     set_profiler,
 )
-from repro.obs.tracing import span
+from repro.obs.tracing import current_context, merge_remote_spans, span, use_tracer
 from repro.sysmodel.image import SystemImage
 from repro.sysmodel.snapshot import image_from_dict
 
@@ -196,7 +198,11 @@ def _assemble_shard(task: bytes) -> bytes:
     (:func:`repro.engine.pool.worker_encore`) and reset per shard.
     """
     payload = codec.decode(task)
-    with use_registry(MetricsRegistry()):
+    shard_index = payload["shard_index"]
+    tracer = worker_tracer(payload, shard_index)
+    with use_registry(MetricsRegistry()), (
+        use_tracer(tracer) if tracer is not None else nullcontext()
+    ):
         profiler = None
         if payload.get("profile"):
             profiler = set_profiler(StageProfiler().start())
@@ -209,14 +215,21 @@ def _assemble_shard(task: bytes) -> bytes:
                 encore.assembler.fault_hook = (
                     FaultPlan.from_dict(payload["faults"]).hook
                 )
-            shard_index = payload["shard_index"]
             images = decode_task_images(payload, encore.assembler, shard_index)
-            if profiler is not None:
-                with profiler.shard("assemble", shard_index, items=len(images)):
-                    partial = encore.assembler.assemble_partial(
-                        images, shard_index=shard_index
-                    )
-            else:
+            # The shard-root span goes through the tracer directly, not
+            # the module-level span(): it only exists when a context was
+            # shipped, and must not observe histograms a tracing-off run
+            # would lack (metrics stay identical either way).
+            shard_span = (
+                tracer.span("assemble.shard", shard=shard_index,
+                            items=len(images))
+                if tracer is not None else nullcontext()
+            )
+            shard_sample = (
+                profiler.shard("assemble", shard_index, items=len(images))
+                if profiler is not None else nullcontext()
+            )
+            with shard_span, shard_sample:
                 partial = encore.assembler.assemble_partial(
                     images, shard_index=shard_index
                 )
@@ -227,6 +240,7 @@ def _assemble_shard(task: bytes) -> bytes:
                 quarantine=encore.assembler.quarantine.to_dicts(),
                 dropped=encore.assembler.quarantine.dropped,
                 profile=profiler.to_dict() if profiler is not None else {},
+                spans=tracer.snapshot(shard=shard_index) if tracer is not None else {},
             ).to_bytes()
         finally:
             if profiler is not None:
@@ -346,6 +360,11 @@ class ShardedAssembler:
             payload["faults"] = self.fault_plan.to_dict()
         if get_profiler() is not None:
             payload["profile"] = True
+        context = current_context()
+        if context is not None:
+            # Propagate the coordinator's trace identity: the worker
+            # re-parents its span forest under the span active here.
+            payload["trace"] = context.to_dict()
         cache_spec = self._cache_spec()
         if cache_spec is not None:
             payload["cache"] = cache_spec
@@ -433,6 +452,8 @@ class ShardedAssembler:
                     merge_snapshot(result.metrics)
                 if result.profile:
                     merge_profile_snapshot(result.profile)
+                if result.spans:
+                    merge_remote_spans(result.spans)
                 self.assembler.quarantine.extend_dicts(
                     result.quarantine, dropped=result.dropped
                 )

@@ -36,7 +36,19 @@ Three cooperating layers, all dependency-free:
   firing→resolved lifecycle;
 * :mod:`repro.obs.health` — :class:`HealthMonitor`, the background
   sampler+evaluator thread the serve daemon and long CLI runs share
-  (process-global hook: :func:`get_monitor` / :func:`set_monitor`).
+  (process-global hook: :func:`get_monitor` / :func:`set_monitor`);
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, always-on bounded
+  rings of recent spans / logs / errors / incidents (process-global
+  hook: :func:`get_flight` / :func:`set_flight`), the black box
+  ``repro doctor`` bundles and ``GET /flightz`` serves;
+* :mod:`repro.obs.doctor` — redacted diagnostic bundles
+  (:func:`build_bundle` / :func:`check_bundle`) behind ``repro doctor``.
+
+Tracing is *distributed*: :class:`TraceContext` (:func:`current_context`)
+crosses process boundaries inside ENCB task frames, worker span forests
+ship back on shard results, and :func:`merge_remote_spans` re-parents
+them under the coordinator span — one causally-linked tree at any
+``--workers N``.
 
 Every pipeline stage records into the active registry by default, so any
 ``train()`` + ``check()`` run can be inspected after the fact::
@@ -58,7 +70,9 @@ from repro.obs.alerts import (
     parse_rules,
 )
 from repro.obs.console import render_stats
+from repro.obs.doctor import DoctorError, build_bundle, check_bundle
 from repro.obs.fileio import atomic_write_text, append_line
+from repro.obs.flight import FlightRecorder, get_flight, set_flight
 from repro.obs.health import (
     HealthMonitor,
     build_monitor,
@@ -93,8 +107,12 @@ from repro.obs.profile import (
 )
 from repro.obs.tracing import (
     Span,
+    TraceContext,
+    TraceExemplars,
     Tracer,
+    current_context,
     get_tracer,
+    merge_remote_spans,
     set_tracer,
     span,
     use_tracer,
@@ -105,8 +123,10 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "Counter",
+    "DoctorError",
     "DriftMonitor",
     "DriftSummary",
+    "FlightRecorder",
     "Gauge",
     "HealthMonitor",
     "Histogram",
@@ -122,13 +142,19 @@ __all__ = [
     "StructuredLogger",
     "Timeline",
     "TimelineSampler",
+    "TraceContext",
+    "TraceExemplars",
     "Tracer",
     "append_line",
     "atomic_write_text",
+    "build_bundle",
     "build_monitor",
+    "check_bundle",
     "chrome_trace",
     "configure",
+    "current_context",
     "diff_entries",
+    "get_flight",
     "get_logger",
     "get_monitor",
     "get_profiler",
@@ -137,11 +163,13 @@ __all__ = [
     "load_rules",
     "parse_rules",
     "merge_profile_snapshot",
+    "merge_remote_spans",
     "merge_snapshot",
     "profile_document",
     "render_profile",
     "render_stats",
     "reset_registry",
+    "set_flight",
     "set_monitor",
     "set_profiler",
     "set_registry",

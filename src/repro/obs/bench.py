@@ -200,6 +200,11 @@ DEFAULT_GATE_METRICS: Sequence[GateMetric] = (
     # floored at zero regardless of history depth.
     GateMetric("timeline_sampler", "overhead_headroom_pct",
                lower_is_better=False, min_value=0.0),
+    # Distributed tracing + flight recording share the same 2 % budget:
+    # headroom (budget − overhead, from ``benchmarks/bench_trace.py``)
+    # is floored at zero regardless of history depth.
+    GateMetric("trace_overhead", "overhead_headroom_pct",
+               lower_is_better=False, min_value=0.0),
 )
 
 

@@ -65,7 +65,15 @@ class JsonLinesFormatter(logging.Formatter):
 
 
 class StructuredLogger:
-    """Thin event+fields facade over one stdlib logger."""
+    """Thin event+fields facade over one stdlib logger.
+
+    Records emitted inside an active span automatically carry
+    ``trace_id``/``span_id`` fields (both formatters render plain
+    fields, so the join works in key=value and JSON modes alike), and
+    every record — printed or not — feeds the installed
+    :class:`~repro.obs.flight.FlightRecorder`, which is how the black
+    box sees DEBUG events the console suppressed.
+    """
 
     __slots__ = ("_logger",)
 
@@ -73,6 +81,14 @@ class StructuredLogger:
         self._logger = logger
 
     def _log(self, level: int, event: str, fields: dict) -> None:
+        context = _current_context()
+        if context is not None:
+            fields.setdefault("trace_id", context.trace_id)
+            if context.span_id:
+                fields.setdefault("span_id", context.span_id)
+        recorder = _get_flight()
+        if recorder is not None:
+            recorder.record_log(level, self._logger.name, event, fields)
         if self._logger.isEnabledFor(level):
             self._logger.log(level, event, extra={"fields": fields})
 
@@ -87,6 +103,20 @@ class StructuredLogger:
 
     def error(self, event: str, **fields: object) -> None:
         self._log(logging.ERROR, event, fields)
+
+
+def _current_context():
+    """Active trace context, imported lazily to avoid an import cycle
+    (tracing → profile → … → logging)."""
+    from repro.obs.tracing import current_context
+
+    return current_context()
+
+
+def _get_flight():
+    from repro.obs.flight import get_flight
+
+    return get_flight()
 
 
 def get_logger(name: str) -> StructuredLogger:

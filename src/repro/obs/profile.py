@@ -42,7 +42,7 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 try:
     import resource as _resource
@@ -303,6 +303,10 @@ def _span_with_times(span) -> Dict[str, object]:
         "ts": span.start,
         "dur": span.duration,
     }
+    if getattr(span, "span_id", ""):
+        out["span_id"] = span.span_id
+    if getattr(span, "parent_id", ""):
+        out["parent_id"] = span.parent_id
     if span.attributes:
         out["attributes"] = {k: v for k, v in sorted(span.attributes.items())}
     if span.children:
@@ -315,12 +319,22 @@ def profile_document(profiler: StageProfiler, tracer=None, **meta: object) -> di
 
     Bundles the folded per-stage totals and shard samples with the span
     tree (when a tracer ran alongside, timestamps preserved) so one file
-    feeds all three export surfaces.
+    feeds all three export surfaces.  A tracer that adopted worker span
+    snapshots (``Tracer.merge_remote``) contributes them under
+    ``remote_spans``, each with its own epoch↔clock anchor, so the
+    Chrome exporter can place pool-worker spans on the coordinator's
+    clock line and link them to their parent span.
     """
     doc = profiler.to_dict()
     doc["meta"].update(meta)
     if tracer is not None:
         doc["spans"] = [_span_with_times(root) for root in tracer.roots]
+        trace_id = getattr(tracer, "trace_id", "")
+        if trace_id:
+            doc["trace_id"] = trace_id
+        remote = getattr(tracer, "remote", None)
+        if remote:
+            doc["remote_spans"] = [dict(snapshot) for snapshot in remote]
     return doc
 
 
@@ -345,9 +359,17 @@ def chrome_trace(doc: Mapping) -> dict:
     under ``SHARD_PID_BASE + shard_index`` — deterministic pids, so a
     profile folded from any number of workers (or exported twice) renders
     identically.  Timestamps are microseconds from the earliest event.
+
+    Worker span forests (``remote_spans``, shipped back on shard
+    results) render as B/E events under their shard's pid, re-anchored
+    onto the coordinator's clock line via the two epoch↔clock anchor
+    pairs, and each forest is linked to its coordinator parent span with
+    a flow event pair (``ph: s`` at the parent, ``ph: f`` at the worker
+    root) — the cross-process parent arrows in the Chrome UI.
     """
     spans = doc.get("spans", [])
     shards = doc.get("shards", [])
+    remote = doc.get("remote_spans", [])
     anchor = doc.get("anchor", {})
 
     def shard_clock(sample: Mapping) -> float:
@@ -357,15 +379,36 @@ def chrome_trace(doc: Mapping) -> dict:
             return float(anchor.get("clock", 0.0))
         return float(anchor["clock"]) + (float(epoch_start) - float(anchor["epoch"]))
 
+    def remote_clock(snapshot: Mapping, value: float) -> float:
+        """Map a worker-clock timestamp onto the coordinator clock line."""
+        snap_anchor = snapshot.get("anchor", {})
+        if not all(k in snap_anchor for k in ("epoch", "clock")) or \
+                not all(k in anchor for k in ("epoch", "clock")):
+            return float(value)
+        epoch = float(snap_anchor["epoch"]) + (float(value) - float(snap_anchor["clock"]))
+        return float(anchor["clock"]) + (epoch - float(anchor["epoch"]))
+
+    # Remote snapshots render in a deterministic order regardless of
+    # shard completion order: by shard index, then parent span id.
+    remote = sorted(
+        remote,
+        key=lambda s: (int(s.get("shard", 0)), str(s.get("parent_id", ""))),
+    )
+
     starts: List[float] = []
 
-    def collect_starts(nodes) -> None:
+    def collect_starts(nodes, to_clock=float) -> None:
         for node in nodes:
-            starts.append(float(node["ts"]))
-            collect_starts(node.get("children", ()))
+            starts.append(to_clock(node["ts"]))
+            collect_starts(node.get("children", ()), to_clock)
 
     collect_starts(spans)
     starts.extend(shard_clock(sample) for sample in shards)
+    for snapshot in remote:
+        collect_starts(
+            snapshot.get("spans", ()),
+            lambda value, _snap=snapshot: remote_clock(_snap, value),
+        )
     origin = min(starts) if starts else 0.0
 
     def ts_us(value: float) -> int:
@@ -376,18 +419,34 @@ def chrome_trace(doc: Mapping) -> dict:
         "args": {"name": "coordinator"},
     }]
 
-    def emit_span(node: Mapping) -> None:
-        start = float(node["ts"])
+    #: Coordinator span index by id — the flow-link anchor points.
+    span_index: Dict[str, Mapping] = {}
+
+    def index_spans(nodes) -> None:
+        for node in nodes:
+            if node.get("span_id"):
+                span_index[str(node["span_id"])] = node
+            index_spans(node.get("children", ()))
+
+    index_spans(spans)
+
+    def emit_span(node: Mapping, pid: int = COORDINATOR_PID,
+                  to_clock=float) -> None:
+        start = to_clock(node["ts"])
         args = dict(node.get("attributes", {}))
+        if node.get("span_id"):
+            args["span_id"] = node["span_id"]
+        if node.get("parent_id"):
+            args["parent_id"] = node["parent_id"]
         events.append({
             "ph": "B", "name": node["name"], "cat": "stage",
-            "pid": COORDINATOR_PID, "tid": 1, "ts": ts_us(start), "args": args,
+            "pid": pid, "tid": 1, "ts": ts_us(start), "args": args,
         })
         for child in node.get("children", ()):
-            emit_span(child)
+            emit_span(child, pid, to_clock)
         events.append({
             "ph": "E", "name": node["name"], "cat": "stage",
-            "pid": COORDINATOR_PID, "tid": 1,
+            "pid": pid, "tid": 1,
             "ts": ts_us(start + float(node["dur"])),
         })
 
@@ -395,14 +454,19 @@ def chrome_trace(doc: Mapping) -> dict:
         emit_span(root)
 
     seen_shard_pids = set()
-    for sample in shards:
-        pid = SHARD_PID_BASE + int(sample.get("shard", 0))
+
+    def shard_metadata(shard: int) -> int:
+        pid = SHARD_PID_BASE + shard
         if pid not in seen_shard_pids:
             seen_shard_pids.add(pid)
             events.append({
                 "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
-                "args": {"name": f"shard-{int(sample.get('shard', 0))}"},
+                "args": {"name": f"shard-{shard}"},
             })
+        return pid
+
+    for sample in shards:
+        pid = shard_metadata(int(sample.get("shard", 0)))
         events.append({
             "ph": "X",
             "name": f"{sample.get('stage', 'shard')}.shard[{int(sample.get('shard', 0))}]",
@@ -416,6 +480,32 @@ def chrome_trace(doc: Mapping) -> dict:
                 "worker_pid": sample.get("pid", 0),
             },
         })
+
+    flow_started = set()
+    for snapshot in remote:
+        pid = shard_metadata(int(snapshot.get("shard", 0)))
+        parent_id = str(snapshot.get("parent_id", ""))
+        parent = span_index.get(parent_id)
+
+        def to_clock(value, _snap=snapshot):
+            return remote_clock(_snap, float(value))
+
+        for root in snapshot.get("spans", ()):
+            emit_span(root, pid, to_clock)
+            if parent is None:
+                continue
+            if parent_id not in flow_started:
+                flow_started.add(parent_id)
+                events.append({
+                    "ph": "s", "name": "trace", "cat": "trace",
+                    "id": parent_id, "pid": COORDINATOR_PID, "tid": 1,
+                    "ts": ts_us(float(parent["ts"])),
+                })
+            events.append({
+                "ph": "f", "bp": "e", "name": "trace", "cat": "trace",
+                "id": parent_id, "pid": pid, "tid": 1,
+                "ts": ts_us(to_clock(root["ts"])),
+            })
 
     # Stable sort: metadata events carry no ts (sort as 0); equal stamps
     # keep generation order, preserving B-before-E at zero-width spans.
@@ -448,7 +538,13 @@ def _mb(value: object) -> str:
 
 
 def render_profile(doc: Mapping, top: int = 10) -> str:
-    """The ``repro profile`` table: stage totals + shard skew."""
+    """The ``repro profile`` table: stage totals, shard skew, span tree.
+
+    When the document carries a span forest the tree is rendered with
+    worker span forests (``remote_spans``) grafted under the
+    coordinator span that shipped them — one causally-linked tree at
+    any worker count.
+    """
     stages: Dict[str, Mapping] = dict(doc.get("stages", {}))
     shards: List[Mapping] = list(doc.get("shards", ()))
     out: List[str] = []
@@ -501,6 +597,55 @@ def render_profile(doc: Mapping, top: int = 10) -> str:
                 f"{min(walls):.3f}/{p50:.3f}/{p99:.3f}/{max(walls):.3f}s  "
                 f"skew {skew:.2f}x  cpu {cpu_total:.3f}s"
             )
+        out.append("")
+
+    spans: List[Mapping] = list(doc.get("spans", ()))
+    if spans:
+        trace_id = str(doc.get("trace_id", ""))
+        out.append("span tree" + (f" (trace {trace_id})" if trace_id else ""))
+        # Worker forests graft under the coordinator span whose id they
+        # named as remote parent (one causally-linked tree); forests
+        # whose parent is gone (e.g. a trimmed document) list at root.
+        by_parent: Dict[str, List[Tuple[int, Mapping]]] = {}
+        for snapshot in sorted(
+            doc.get("remote_spans", ()),
+            key=lambda s: (int(s.get("shard", 0)), str(s.get("parent_id", ""))),
+        ):
+            shard = int(snapshot.get("shard", 0))
+            parent_id = str(snapshot.get("parent_id", ""))
+            for node in snapshot.get("spans", ()):
+                by_parent.setdefault(parent_id, []).append((shard, node))
+        grafted = set()
+
+        def line(node: Mapping, depth: int, origin: str = "") -> None:
+            suffix = f" [{origin}]" if origin else ""
+            out.append(
+                f"  {'  ' * depth}{node.get('name', '?')}{suffix}  "
+                f"{float(node.get('dur', 0.0)):.3f}s"
+            )
+
+        def walk_remote(node: Mapping, depth: int, shard: int) -> None:
+            line(node, depth, origin=f"shard-{shard}")
+            for child in node.get("children", ()):
+                walk_remote(child, depth + 1, shard)
+
+        def walk(node: Mapping, depth: int) -> None:
+            line(node, depth)
+            for child in node.get("children", ()):
+                walk(child, depth + 1)
+            span_id = str(node.get("span_id", ""))
+            if span_id and span_id in by_parent:
+                grafted.add(span_id)
+                for shard, remote_node in by_parent[span_id]:
+                    walk_remote(remote_node, depth + 1, shard)
+
+        for root in spans:
+            walk(root, 0)
+        for parent_id, forest in by_parent.items():
+            if parent_id in grafted:
+                continue
+            for shard, remote_node in forest:
+                walk_remote(remote_node, 0, shard)
         out.append("")
 
     if not out:

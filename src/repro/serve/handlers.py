@@ -13,19 +13,30 @@ Routes (see ``docs/serving.md`` for the full API reference):
 ``GET  /metrics``         Prometheus text exposition of the process registry
 ``GET  /statusz``         uptime, snapshot digest, admission state, SLOs
 ``GET  /alertz``          alert rules, firing/resolved incidents, timeline
+``GET  /tracez``          tail-based trace exemplars (slowest + errored
+                          requests, full span trees)
+``GET  /flightz``         the always-on flight recorder's ring buffers
 ========================  =====================================================
 
 Every request carries a trace id — ``X-Request-Id`` is propagated when
 the client sends one, generated otherwise, and always echoed on the
-response.  Model-serving POSTs run under a *private* per-request metrics
-registry and tracer (:func:`~repro.obs.metrics.use_registry` /
-:func:`~repro.obs.tracing.use_tracer`): all pipeline instrumentation the
-check emits lands there, the handler adds the request's own
+response.  The request id **is** the trace id: model-serving POSTs build
+a per-request :class:`~repro.obs.tracing.Tracer` rooted at
+``TraceContext.root(request_id)``, so the admission wait, the replica
+check, and any pool-worker shard spans (propagated through ENCB task
+frames) render as one causally-linked trace.  Requests also run under a
+*private* per-request metrics registry
+(:func:`~repro.obs.metrics.use_registry`): all pipeline instrumentation
+the check emits lands there, the handler adds the request's own
 ``serve.request.latency`` observation (labels ``route``/``status``) and
 ``serve.requests.total`` increment, and the registry is folded into the
-process-wide one under the server's fold lock.  One structured access-log
+process-wide one under the server's fold lock *before* the response goes
+out.  After the root span closes the finished trace is offered to the
+server's :class:`~repro.obs.tracing.TraceExemplars` (``GET /tracez``
+keeps the slowest and errored ones in full).  One structured access-log
 line and (for successful model-serving requests) one run-ledger entry
-carry the same request id, so log ↔ metrics ↔ ledger join trivially.
+carry the same request id, so log ↔ metrics ↔ ledger ↔ trace join
+trivially.
 """
 
 from __future__ import annotations
@@ -34,12 +45,12 @@ import json
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.report import Report, warning_to_dict
 from repro.obs import get_logger
 from repro.obs.metrics import MetricsRegistry, use_registry
-from repro.obs.tracing import Tracer, use_tracer
+from repro.obs.tracing import TraceContext, Tracer, use_tracer
 from repro.serve.server import (
     ApiError,
     POST_ROUTES,
@@ -206,6 +217,12 @@ class ServeHandler(BaseHTTPRequestHandler):
         elif route == "/alertz":
             status = 200
             self._send_json(status, server.alertz(), request_id)
+        elif route == "/tracez":
+            status = 200
+            self._send_json(status, server.tracez(), request_id)
+        elif route == "/flightz":
+            status = 200
+            self._send_json(status, server.flightz(), request_id)
         elif route == "/metrics":
             status = 200
             self._send_text(status, server.prometheus(), request_id,
@@ -237,26 +254,61 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._count_get(route, 404)
             self._access_log("POST", route, 404, started, request_id)
             return
-        with server.admission.slot() as admitted:
-            if not admitted:
-                self._shed(route, started, request_id)
-                return
-            self._serve_model_request(route, started, request_id)
-
-    def _shed(self, route: str, started: float, request_id: str) -> None:
-        server = self.server
-        server.count_shed(route)
+        # The request id is the trace root: a caller-supplied
+        # X-Request-Id makes the whole request — admission wait, replica
+        # check, pool shard work — joinable across services under the
+        # caller's own id.
         registry = MetricsRegistry()
-        self._observe(registry, route, 429, started)
+        tracer = Tracer(context=TraceContext.root(request_id))
+        extra_headers: Optional[Dict[str, str]] = None
+        outcome: Optional[RequestOutcome] = None
+        elapsed = 0.0
+        with use_registry(registry), use_tracer(tracer):
+            with tracer.span("serve.request", route=route) as root:
+                with tracer.span("serve.admission.wait") as wait:
+                    admitted = server.admission.try_acquire()
+                    wait.annotate(admitted=admitted)
+                try:
+                    if admitted:
+                        status, payload, outcome = self._run_model_request(
+                            route, request_id
+                        )
+                    else:
+                        server.count_shed(route)
+                        status = 429
+                        payload = {
+                            "error":
+                                "overloaded: request shed by admission control",
+                            "request_id": request_id,
+                        }
+                        extra_headers = {"Retry-After": "1"}
+                finally:
+                    if admitted:
+                        server.admission.release()
+                elapsed = self._observe(registry, route, status, started)
+                root.annotate(status=status)
+        # Fold + ledger + exemplar before the response goes out, so a
+        # caller that immediately scrapes /metrics, tails the ledger, or
+        # reads /tracez sees its own request.
         server.fold_request_metrics(registry)
-        self._send_json(
-            429,
-            {"error": "overloaded: request shed by admission control",
-             "request_id": request_id},
-            request_id,
-            extra_headers={"Retry-After": "1"},
+        if outcome is not None and status == 200:
+            server.record_request_entry(
+                command=outcome.command,
+                request_id=request_id,
+                route=route,
+                status=status,
+                seconds=elapsed,
+                targets_checked=outcome.targets_checked,
+                warning_counts=outcome.warning_counts,
+                trace_id=tracer.trace_id,
+            )
+        server.exemplars.offer(
+            tracer.to_dict(), seconds=elapsed, route=route,
+            status=status, request_id=request_id,
         )
-        self._access_log("POST", route, 429, started, request_id)
+        self._send_json(status, payload, request_id,
+                        extra_headers=extra_headers)
+        self._access_log("POST", route, status, started, request_id)
 
     @staticmethod
     def _observe(registry: MetricsRegistry, route: str, status: int,
@@ -272,11 +324,10 @@ class ServeHandler(BaseHTTPRequestHandler):
         ).inc()
         return elapsed
 
-    def _serve_model_request(self, route: str, started: float,
-                             request_id: str) -> None:
-        server = self.server
-        registry = MetricsRegistry()
-        tracer = Tracer()
+    def _run_model_request(
+        self, route: str, request_id: str
+    ) -> Tuple[int, Dict[str, object], Optional[RequestOutcome]]:
+        """Parse + dispatch under the caller-installed registry/tracer."""
         outcome: Optional[RequestOutcome] = None
         status = 500
         payload: Dict[str, object] = {
@@ -284,8 +335,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         }
         try:
             body = self._read_body()
-            with use_registry(registry), use_tracer(tracer):
-                outcome = self._dispatch(route, body, request_id)
+            outcome = self._dispatch(route, body, request_id)
             status, payload = 200, outcome.payload
         except ApiError as exc:
             status = exc.status
@@ -295,22 +345,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                       error=type(exc).__name__, detail=str(exc))
             payload = {"error": f"internal error: {type(exc).__name__}",
                        "request_id": request_id}
-        elapsed = self._observe(registry, route, status, started)
-        server.fold_request_metrics(registry)
-        if outcome is not None and status == 200:
-            # Before the response goes out, so a caller that immediately
-            # reads the ledger sees its own entry.
-            server.record_request_entry(
-                command=outcome.command,
-                request_id=request_id,
-                route=route,
-                status=status,
-                seconds=elapsed,
-                targets_checked=outcome.targets_checked,
-                warning_counts=outcome.warning_counts,
-            )
-        self._send_json(status, payload, request_id)
-        self._access_log("POST", route, status, started, request_id)
+        return status, payload, outcome
 
     # -- dispatch --------------------------------------------------------------
 

@@ -50,7 +50,9 @@ from repro.obs.ledger import (
     default_ledger,
     fingerprint_payload,
 )
+from repro.obs.flight import FlightRecorder, get_flight, set_flight
 from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+from repro.obs.tracing import TraceExemplars
 
 log = get_logger("serve")
 
@@ -260,7 +262,17 @@ class DetectionServer(ThreadingHTTPServer):
         self.ledger_lock = threading.Lock()
         self.config_fingerprint = fingerprint_payload(config.encore.to_dict())
         self._preregister_metrics()
+        #: Always-on flight recorder: every closed span, structured log
+        #: record, error, and incident transition lands in its ring
+        #: buffers, so the last moments before an incident are always
+        #: available (``GET /flightz``, ``repro doctor``) without any
+        #: flag having been set in advance.
+        self.flight = FlightRecorder()
+        set_flight(self.flight)
+        #: Tail-based exemplar store behind ``GET /tracez``.
+        self.exemplars = TraceExemplars()
         self.monitor = self._build_monitor()
+        self.monitor.on_transition(self.flight.incident_listener)
         self.watcher = SnapshotWatcher(
             self, poll_interval_s=config.reload_poll_s
         )
@@ -393,6 +405,8 @@ class DetectionServer(ThreadingHTTPServer):
         self.watcher.stop()
         super().server_close()
         log.info("serve.stopped", uptime_s=round(self.uptime_s(), 3))
+        if get_flight() is self.flight:
+            set_flight(None)
 
     def uptime_s(self) -> float:
         return time.monotonic() - self.started_monotonic
@@ -409,6 +423,14 @@ class DetectionServer(ThreadingHTTPServer):
     def alertz(self) -> Dict[str, object]:
         """The ``GET /alertz`` payload: rules, incidents, timeline stats."""
         return self.monitor.snapshot()
+
+    def tracez(self) -> Dict[str, object]:
+        """The ``GET /tracez`` payload: retained trace exemplars."""
+        return self.exemplars.to_dict()
+
+    def flightz(self) -> Dict[str, object]:
+        """The ``GET /flightz`` payload: the flight recorder's rings."""
+        return self.flight.to_dict()
 
     # -- metrics ---------------------------------------------------------------
 
@@ -611,10 +633,20 @@ class DetectionServer(ThreadingHTTPServer):
         seconds: float,
         targets_checked: int,
         warning_counts: Dict[str, int],
+        trace_id: str = "",
     ) -> None:
         """One ledger entry per successful model-serving request."""
         if self.ledger is None or not self.config.record_requests:
             return
+        request: Dict[str, object] = {
+            "request_id": request_id,
+            "route": route,
+            "status": status,
+        }
+        if trace_id:
+            # The originating trace id, so a ledger entry joins the
+            # request's /tracez exemplar and flight-recorder records.
+            request["trace_id"] = trace_id
         self._record_ledger(
             LedgerEntry(
                 command=command,
@@ -629,11 +661,7 @@ class DetectionServer(ThreadingHTTPServer):
                 warning_counts=dict(warning_counts),
                 timing={"request_seconds": round(seconds, 6)},
                 workers=1,
-                request={
-                    "request_id": request_id,
-                    "route": route,
-                    "status": status,
-                },
+                request=request,
             )
         )
 

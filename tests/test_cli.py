@@ -151,3 +151,78 @@ class TestSuggestAudit:
         out = capsys.readouterr().out
         assert rc == 0
         assert "audit complete" in out
+
+
+class TestWatchReconnect:
+    """`repro watch` must survive daemon restarts with backoff, not die."""
+
+    @staticmethod
+    def _args(**overrides):
+        import argparse
+
+        fields = dict(url="127.0.0.1:1", interval=0.01, once=False,
+                      max_retries=None)
+        fields.update(overrides)
+        return argparse.Namespace(**fields)
+
+    def test_reconnects_after_transient_failure(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        frames = iter([OSError("connection refused"), "FRAME-OK"])
+
+        def fake_frame(base):
+            item = next(frames)
+            if isinstance(item, Exception):
+                raise item
+            return item
+
+        sleeps = []
+
+        def fake_sleep(delay):
+            sleeps.append(delay)
+            if len(sleeps) > 1:  # the post-frame interval sleep: stop here
+                raise KeyboardInterrupt
+
+        import types
+
+        monkeypatch.setattr(cli, "_watch_frame", fake_frame)
+        monkeypatch.setattr(cli, "time", types.SimpleNamespace(sleep=fake_sleep))
+        rc = cli.cmd_watch(self._args())
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "reconnecting to http://127.0.0.1:1 (attempt 1" in captured.err
+        assert "Traceback" not in captured.err
+        assert "FRAME-OK" in captured.out
+
+    def test_max_retries_bounds_patience_with_backoff(self, monkeypatch,
+                                                      capsys):
+        import types
+
+        import repro.cli as cli
+
+        def always_down(base):
+            raise OSError("connection refused")
+
+        sleeps = []
+        monkeypatch.setattr(cli, "_watch_frame", always_down)
+        monkeypatch.setattr(cli, "time",
+                            types.SimpleNamespace(sleep=sleeps.append))
+        rc = cli.cmd_watch(self._args(max_retries=2))
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "after 3 attempt(s)" in captured.err
+        # Exponential backoff from the 0.1s floor, doubling per failure.
+        assert sleeps == [0.1, 0.2]
+
+    def test_once_keeps_hard_failure_contract(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def always_down(base):
+            raise OSError("connection refused")
+
+        monkeypatch.setattr(cli, "_watch_frame", always_down)
+        rc = cli.cmd_watch(self._args(once=True))
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "cannot reach" in captured.err
+        assert "reconnecting" not in captured.err

@@ -141,6 +141,19 @@ class TestQuarantineRecords:
         record = record_from_exception("ami-9", FaultInjected("ami-9"))
         assert record.stage == "worker"
 
+    def test_record_joins_active_trace(self):
+        from repro.obs.tracing import TraceContext, Tracer, use_tracer
+
+        tracer = Tracer(context=TraceContext.root("q-trace"))
+        with use_tracer(tracer), tracer.span("assemble.image"):
+            record = record_from_exception("ami-9", ConfigParseError("x"))
+        assert record.trace_id == "q-trace"
+        assert record.to_dict()["trace_id"] == "q-trace"
+        # Outside any trace the field stays empty and off the wire.
+        bare = record_from_exception("ami-9", ConfigParseError("x"))
+        assert bare.trace_id == ""
+        assert "trace_id" not in bare.to_dict()
+
     def test_quarantine_accounting(self):
         quarantine = Quarantine()
         quarantine.add(record_from_exception("a", ConfigParseError("x")))

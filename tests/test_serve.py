@@ -532,3 +532,97 @@ class TestServeCli:
         rc = main(["serve", "--snapshot", str(tmp_path / "absent.json"),
                    "--port", "0", "--no-ledger"])
         assert rc == 1
+
+
+# -- distributed tracing over HTTP (tracez / flightz / ledger) ------------------
+
+
+class TestServeTracing:
+    @pytest.fixture()
+    def traced_ctx(self, tmp_path, serve_ctx):
+        """A fresh daemon per test: empty exemplars, flight rings, ledger."""
+        config = ServeConfig(
+            snapshot=serve_ctx.snapshot,
+            port=0,
+            max_inflight=2,
+            max_queue=2,
+            queue_timeout_s=0.2,
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        server = boot(config)
+        ctx = SimpleNamespace(
+            server=server,
+            base=f"http://127.0.0.1:{server.server_port}",
+            ledger=Ledger(tmp_path / "ledger.jsonl"),
+        )
+        yield ctx
+        server.stop()
+        server.server_close()
+
+    def test_request_trace_lands_in_tracez(self, traced_ctx, target_body):
+        status, _, _ = post(traced_ctx.base, "/v1/check", target_body,
+                            headers={"X-Request-Id": "trace-me-123"})
+        assert status == 200
+        status, text = get(traced_ctx.base, "/tracez")
+        assert status == 200
+        data = json.loads(text)
+        assert data["seen"] == 1
+        assert data["errored"] == []
+        exemplar = data["slowest"][0]
+        assert exemplar["request_id"] == "trace-me-123"
+        assert exemplar["route"] == "/v1/check"
+        assert exemplar["status"] == 200
+        assert exemplar["seconds"] > 0
+        # The caller's request id IS the trace root: one causally linked
+        # tree covering admission wait and the model work.
+        trace = exemplar["trace"]
+        assert trace["trace_id"] == "trace-me-123"
+        root = trace["spans"][0]
+        assert root["name"] == "serve.request"
+        assert root["attributes"]["route"] == "/v1/check"
+        assert root["attributes"]["status"] == 200
+        children = [child["name"] for child in root["children"]]
+        assert children[0] == "serve.admission.wait"
+        wait = root["children"][0]
+        assert wait["attributes"]["admitted"] is True
+        assert wait["parent_id"] == root["span_id"]
+
+    def test_errored_request_keeps_full_exemplar(self, traced_ctx,
+                                                 target_body, monkeypatch):
+        monkeypatch.setattr(traced_ctx.server.pool, "lease",
+                            _raise_runtime_error)
+        status, body, _ = post(traced_ctx.base, "/v1/check", target_body,
+                               headers={"X-Request-Id": "boom-1"})
+        assert status == 500
+        status, text = get(traced_ctx.base, "/tracez")
+        data = json.loads(text)
+        assert [item["request_id"] for item in data["errored"]] == ["boom-1"]
+        assert data["errored"][0]["trace"]["trace_id"] == "boom-1"
+
+    def test_flightz_records_spans_and_logs(self, traced_ctx, target_body):
+        status, _, _ = post(traced_ctx.base, "/v1/check", target_body,
+                            headers={"X-Request-Id": "flight-probe"})
+        assert status == 200
+        status, text = get(traced_ctx.base, "/flightz")
+        assert status == 200
+        data = json.loads(text)
+        assert data["totals"]["spans"] >= 2
+        names = {entry["name"] for entry in data["spans"]}
+        assert {"serve.request", "serve.admission.wait"} <= names
+        request_span = next(entry for entry in data["spans"]
+                            if entry["name"] == "serve.request")
+        assert request_span["trace_id"] == "flight-probe"
+
+    def test_ledger_entry_carries_trace_id(self, traced_ctx, target_body):
+        status, body, _ = post(traced_ctx.base, "/v1/check", target_body,
+                               headers={"X-Request-Id": "ledger-trace-7"})
+        assert status == 200
+        entries = [entry for entry in traced_ctx.ledger.entries()
+                   if entry.command == "serve.check"]
+        assert len(entries) == 1
+        assert entries[0].request["request_id"] == "ledger-trace-7"
+        assert entries[0].request["trace_id"] == "ledger-trace-7"
+
+
+def _raise_runtime_error(*args, **kwargs):
+    raise RuntimeError("injected failure")
